@@ -1,0 +1,57 @@
+"""Fig 3 — sensitivity of Volley's default parameters to network conditions.
+
+Paper: downloads of 2K–2M files over conditioned 3G with the default
+2500 ms timeout + 1 retry.  Success stays ~1.0 with no loss and collapses
+with size under 10 % packet loss.
+"""
+
+from repro.eval.experiments import run_fig3
+
+from .conftest import assert_close
+
+
+def test_fig3_default_parameter_sensitivity(benchmark):
+    report = benchmark.pedantic(run_fig3, kwargs={"trials": 200}, rounds=1, iterations=1)
+    print("\n" + str(report))
+    clean = report.data["series"]["3G"]
+    lossy = report.data["series"]["3G+loss10%"]
+
+    # No loss: the defaults work at every size (flat 1.0 line).
+    assert min(clean) >= 0.97
+
+    # 10% loss: small files fine, large files fail — the paper's headline.
+    assert lossy[0] > 0.95  # 2K
+    assert lossy[-1] < 0.15  # 2M
+    # Monotone decline (allowing Monte-Carlo wiggle).
+    for earlier, later in zip(lossy, lossy[2:]):
+        assert later <= earlier + 0.05
+
+    # The crossover (success < 50%) falls in the paper's mid-size band.
+    sizes = report.data["sizes"]
+    crossover = next(
+        size for size, rate in zip(sizes, lossy) if rate < 0.5
+    )
+    assert 64 * 1024 <= crossover <= 1024 * 1024
+
+
+def test_fig3_loss_sweep(benchmark):
+    """Extension of Fig 3's second axis: success degrades monotonically in
+    the loss rate at a fixed mid-range size."""
+    from repro.netsim import RequestPolicy, THREE_G, download_success_rate
+
+    size = 128 * 1024
+    policy = RequestPolicy.volley_default()
+    losses = [0.0, 0.05, 0.10, 0.20]
+
+    def sweep():
+        return [
+            download_success_rate(THREE_G.with_loss(loss), size, policy, trials=150)
+            for loss in losses
+        ]
+
+    rates = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nloss sweep @128K:", dict(zip(losses, [f"{r:.2f}" for r in rates])))
+    for earlier, later in zip(rates, rates[1:]):
+        assert later <= earlier + 0.03  # monotone modulo Monte-Carlo noise
+    assert rates[0] == 1.0
+    assert rates[-1] < 0.5

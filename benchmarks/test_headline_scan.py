@@ -1,0 +1,38 @@
+"""§5.2 headline — 4180 NPDs in 281/285 apps — plus scan throughput.
+
+The throughput micro-benchmark times one full app scan (call graph,
+request extraction, all four analyses) on a representative generated app;
+the whole-corpus benchmark times the complete 285-app sweep.
+"""
+
+from repro.core import NChecker
+from repro.corpus import CorpusGenerator, PAPER_PROFILE
+
+from .conftest import assert_close
+
+
+def test_headline_full_corpus_scan(benchmark):
+    generator = CorpusGenerator(PAPER_PROFILE)
+    apps = [apk for apk, _ in generator.iter_apps()]
+    checker = NChecker()
+
+    def sweep():
+        results = [checker.scan(apk) for apk in apps]
+        return (
+            sum(len(r.findings) for r in results),
+            sum(1 for r in results if r.is_buggy),
+        )
+
+    total_npds, buggy = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print(f"\nHeadline: {total_npds} NPDs in {buggy}/285 apps "
+          f"(paper: 4180 in 281/285)")
+    assert_close(total_npds, 4180, 600, "total NPDs")
+    assert buggy / 285 >= 0.98  # "98+% of the evaluated mobile apps"
+
+
+def test_single_app_scan_throughput(benchmark):
+    generator = CorpusGenerator(PAPER_PROFILE)
+    apk, _ = generator.generate_app(3)
+    checker = NChecker()
+    result = benchmark(checker.scan, apk)
+    assert result.requests  # the timed work is real

@@ -1,0 +1,60 @@
+"""Scan-time scaling: NChecker's analyses should scale near-linearly with
+app size (the paper scanned 285 real APKs; per-app statement-level
+analyses dominate, so statements are the natural size metric)."""
+
+import time
+
+from repro.core import NChecker
+from repro.corpus.appbuilder import AppBuilder
+from repro.corpus.snippets import RequestSpec, inject_request
+from repro.corpus.generator import _UI_METHODS, _UI_PARAMS
+from repro.ir import app_metrics
+
+
+def _app_with_requests(n_requests: int):
+    app = AppBuilder(f"com.scale.n{n_requests}")
+    libraries = ["basichttp", "volley", "apache", "okhttp", "asynchttp"]
+    activity = None
+    slots = []
+    for i in range(n_requests):
+        if not slots:
+            activity = app.activity(f"Screen{i}")
+            slots = list(_UI_METHODS)
+        name = slots.pop(0)
+        body = activity.method(name, params=_UI_PARAMS[name])
+        inject_request(
+            app, body, RequestSpec(library=libraries[i % len(libraries)]),
+            user_initiated=True,
+        )
+        body.ret()
+        activity.add(body)
+    return app.build()
+
+
+def test_scan_scales_near_linearly(benchmark):
+    sizes = [4, 16, 64]
+    apps = {n: _app_with_requests(n) for n in sizes}
+    checker = NChecker()
+
+    def scan_all():
+        timings = {}
+        for n, apk in apps.items():
+            start = time.perf_counter()
+            result = checker.scan(apk)
+            timings[n] = time.perf_counter() - start
+            assert len(result.requests) == n
+        return timings
+
+    timings = benchmark.pedantic(scan_all, rounds=1, iterations=1)
+    stmts = {n: app_metrics(apk).statements for n, apk in apps.items()}
+    print("\nscan-time scaling:")
+    for n in sizes:
+        per_stmt = 1e6 * timings[n] / stmts[n]
+        print(f"  {n:3d} requests, {stmts[n]:5d} stmts: "
+              f"{timings[n]*1000:7.1f} ms ({per_stmt:.1f} us/stmt)")
+
+    # Near-linear: time per statement must not blow up with size
+    # (allow 4x drift for constant overheads and cache effects).
+    small = timings[sizes[0]] / stmts[sizes[0]]
+    large = timings[sizes[-1]] / stmts[sizes[-1]]
+    assert large < small * 4

@@ -1,0 +1,24 @@
+"""Tables 1–3 and Fig 4 — the §2 empirical study artifacts."""
+
+from repro.core.defects import Impact, RootCause
+from repro.eval.experiments import run_study_tables
+
+
+def test_empirical_study_tables(benchmark):
+    report = benchmark(run_study_tables)
+    print("\n" + str(report))
+
+    impact = report.data["impact_percent"]
+    assert impact[Impact.DYSFUNCTION] == 36
+    assert impact[Impact.UNFRIENDLY_UI] == 33
+    assert impact[Impact.CRASH_FREEZE] == 21
+    assert impact[Impact.BATTERY_DRAIN] == 10
+
+    causes = report.data["cause_percent"]
+    assert causes[RootCause.NO_CONNECTIVITY_CHECK] == 30
+    assert causes[RootCause.MISHANDLED_TRANSIENT] == 13
+    assert causes[RootCause.MISHANDLED_PERMANENT] == 27
+    assert causes[RootCause.MISHANDLED_SWITCH] == 30
+
+    assert report.data["total"] == 90
+    assert "Chrome" in report.text and "ChatSecure" in report.text

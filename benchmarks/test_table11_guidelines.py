@@ -1,0 +1,30 @@
+"""Table 11 — observations → library-design guidelines, recomputed from
+the corpus scan."""
+
+import re
+
+from repro.eval.experiments import run_table11
+
+
+def test_table11_guidelines(benchmark, paper_corpus_results):
+    report = benchmark.pedantic(run_table11, rounds=1, iterations=1)
+    print("\n" + str(report))
+
+    guidelines = report.data["guidelines"]
+    assert len(guidelines) == 7
+
+    # Each observation carries a recomputed percentage...
+    for guideline in guidelines:
+        assert re.search(r"\d+%", guideline.observation)
+
+    # ...and the headline numbers sit near the paper's (43 / 70 / 76+ /
+    # 57 / 75 / 93).
+    def pct(text):
+        return int(re.search(r"(\d+)%", text).group(1))
+
+    assert abs(pct(guidelines[0].observation) - 43) <= 7
+    assert abs(pct(guidelines[1].observation) - 70) <= 8
+    assert pct(guidelines[2].observation) >= 60  # "over 76% ... defaults"
+    assert abs(pct(guidelines[3].observation) - 57) <= 8
+    assert abs(pct(guidelines[4].observation) - 75) <= 12
+    assert pct(guidelines[6].observation) >= 85  # "93% don't check types"

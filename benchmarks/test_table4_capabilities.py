@@ -1,0 +1,38 @@
+"""Table 4 — library NPD-tolerance matrix; Table 5 — misuse patterns;
+§4.3 — annotation counts."""
+
+from repro.core.defects import DefectKind, KIND_PATTERN, MisusePattern
+from repro.eval.experiments import run_table4
+from repro.libmodels import Tolerance, tolerance
+
+
+def test_table4_capability_matrix(benchmark):
+    report = benchmark(run_table4)
+    print("\n" + str(report))
+
+    counts = report.data["counts"]
+    assert counts["target_apis"] == 14  # paper §4.3
+    assert counts["config_apis"] == 77
+    assert counts["response_check_apis"] == 2
+    assert counts["libraries"] == 6
+
+    # Spot-check the matrix against the printed paper values.
+    assert tolerance("volley", "No timeout") is Tolerance.AUTO
+    assert tolerance("okhttp", "No timeout") is Tolerance.MANUAL
+    assert tolerance("volley", "No invalid response check") is Tolerance.AUTO
+    assert tolerance("apache", "No retry on transient error") is Tolerance.MANUAL
+
+
+def test_table5_misuse_patterns(benchmark):
+    """Every detectable defect kind maps to one of Table 5's patterns."""
+    patterns = benchmark(lambda: {KIND_PATTERN[kind] for kind in DefectKind})
+    assert patterns == set(MisusePattern)
+    # Table 5 row examples:
+    assert KIND_PATTERN[DefectKind.MISSED_CONNECTIVITY_CHECK] is (
+        MisusePattern.MISS_REQUEST_SETTING
+    )
+    assert KIND_PATTERN[DefectKind.OVER_RETRY_POST] is MisusePattern.IMPROPER_PARAMETERS
+    assert KIND_PATTERN[DefectKind.MISSED_NOTIFICATION] is MisusePattern.NO_ERROR_MESSAGE
+    assert KIND_PATTERN[DefectKind.MISSED_RESPONSE_CHECK] is (
+        MisusePattern.MISS_RESPONSE_CHECK
+    )

@@ -1,0 +1,42 @@
+"""Tables 6 & 7 — detection effectiveness over the 285-app corpus.
+
+Paper values (Table 6): conn 43 %, timeout 49 %, retry 70 %, over-retry
+55 %, notifications 57 %, response checks 75 %; 4180 NPDs in 281/285
+apps.  The synthetic corpus reproduces the rates within tolerance bands.
+"""
+
+from repro.eval.experiments import run_table6, run_table7
+
+from .conftest import assert_close
+
+
+def test_table6_buggy_app_rates(benchmark, paper_corpus_results):
+    report = benchmark.pedantic(run_table6, rounds=1, iterations=1)
+    print("\n" + str(report))
+    data = report.data
+
+    assert_close(data["Missed conn. checks"][2], 43, 7, "conn never-check %")
+    assert_close(data["Missed timeout APIs"][2], 49, 7, "timeout never-set %")
+    assert_close(data["Missed retry APIs"][2], 70, 8, "retry never-set %")
+    assert_close(data["Over retries"][2], 55, 8, "over-retry %")
+    assert_close(
+        data["Missed failure notifications"][2], 57, 8, "notification never %"
+    )
+    assert_close(data["Missed response checks"][2], 75, 15, "response-check %")
+
+    # Headline: thousands of NPDs, nearly every app buggy (paper: 4180 in
+    # 281/285 = 98+%).
+    assert_close(data["total_npds"], 4180, 600, "total NPDs")
+    assert data["buggy_apps"] / data["n_apps"] >= 0.98
+
+
+def test_table7_library_mix(benchmark, paper_corpus_results):
+    report = benchmark(run_table7)
+    print("\n" + str(report))
+    counts = report.data["counts"]
+    # Paper Table 7: Native 270, Volley 78, Async 25, Basic 18, OkHttp 11.
+    assert_close(counts["Native"], 270, 12, "native apps")
+    assert_close(counts["Volley"], 78, 15, "volley apps")
+    assert_close(counts["Android Async Http"], 25, 10, "async-http apps")
+    assert_close(counts["Basic Http"], 18, 8, "basic-http apps")
+    assert_close(counts["OkHttp"], 11, 6, "okhttp apps")

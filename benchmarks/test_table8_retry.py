@@ -1,0 +1,34 @@
+"""Table 8 — inappropriate retry behaviours and their default-caused share.
+
+Paper: 8 % of retry-lib apps never retry user requests; 32 % over-retry
+in Services (76 % default-caused); 25 % over-retry POSTs (98 %
+default-caused).
+"""
+
+from repro.eval.experiments import run_table8
+
+from .conftest import assert_close
+
+
+def test_table8_improper_retry_parameters(benchmark, paper_corpus_results):
+    report = benchmark.pedantic(run_table8, rounds=1, iterations=1)
+    print("\n" + str(report))
+    data = report.data
+
+    no_retry_apps, no_retry_default = data["No retry in Activities"]
+    service_apps, service_default = data["Over retry in Services"]
+    post_apps, post_default = data["Over retry in POST requests"]
+
+    assert_close(no_retry_apps, 8, 5, "no-retry-in-activities %")
+    assert_close(service_apps, 32, 8, "over-retry-in-services %")
+    assert_close(post_apps, 25, 8, "over-retry-on-post %")
+
+    # The paper's key insight: defaults cause most over-retries.
+    assert_close(service_default, 76, 14, "service default-caused %")
+    assert_close(post_default, 98, 8, "post default-caused %")
+    # Explicit zero-retries are never default-caused (there is no 0-retry
+    # default among the studied libraries).
+    assert no_retry_default == 0
+
+    # Ordering: services > POST > no-retry (who wins).
+    assert service_apps > post_apps > no_retry_apps

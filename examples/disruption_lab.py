@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Disruption lab: run the same app against different simulated mobile
+networks and watch the NPD symptoms appear — crash, silent failure,
+battery drain — exactly the UX impacts of the paper's Fig 4.
+
+The second half reproduces Fig 3: the success rate of downloads using
+Volley's *default* timeout/retry under clean vs lossy 3G.
+
+Run:  python examples/disruption_lab.py
+"""
+
+from repro.corpus.appbuilder import AppBuilder
+from repro.corpus.snippets import (
+    Backoff,
+    Notification,
+    RequestSpec,
+    RetryLoopShape,
+    inject_request,
+)
+from repro.netsim import (
+    LinkProfile,
+    OFFLINE,
+    RequestPolicy,
+    Runtime,
+    THREE_G,
+    THREE_G_LOSSY,
+    download_success_rate,
+)
+
+POOR = LinkProfile("poor-3G", bandwidth_kbps=780, rtt_ms=100, loss_rate=0.6)
+
+
+def build(spec: RequestSpec):
+    app = AppBuilder("com.example.lab")
+    activity = app.activity("MainActivity")
+    body = activity.method("onClick", params=[("android.view.View", "v")])
+    inject_request(app, body, spec, user_initiated=True)
+    body.ret()
+    activity.add(body)
+    return app.build()
+
+
+def run(label: str, spec: RequestSpec, link) -> None:
+    apk = build(spec)
+    report = Runtime(apk, link, seed=7).run_entry(
+        "com.example.lab.MainActivity", "onClick"
+    )
+    symptoms = []
+    if report.crashed:
+        symptoms.append(f"CRASH ({report.crash_type})")
+    if report.silent_failure:
+        symptoms.append("SILENT FAILURE (user sees nothing)")
+    if report.battery_drain:
+        symptoms.append(
+            f"BATTERY DRAIN ({report.attempts_per_minute:.0f} attempts/min)"
+        )
+    if not symptoms:
+        symptoms.append("ok")
+    print(f"  {label:46s} on {link.name:12s} -> {', '.join(symptoms)}")
+
+
+def main() -> None:
+    print("== Symptom manifestation (compare paper Fig 4 categories) ==")
+    unchecked = RequestSpec(library="basichttp")
+    run("unchecked response (Cause 3.3)", unchecked, THREE_G)
+    run("unchecked response (Cause 3.3)", unchecked, POOR)
+
+    silent = RequestSpec(library="okhttp")
+    run("no failure notification (Cause 3.2)", silent, OFFLINE)
+    run(
+        "  ...fixed with a Toast",
+        RequestSpec(library="okhttp", with_notification=Notification.TOAST),
+        OFFLINE,
+    )
+
+    telegram = RequestSpec(
+        library="basichttp",
+        retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT,
+        backoff=Backoff.NONE,
+    )
+    run("Telegram-style reconnect loop (Fig 2)", telegram, OFFLINE)
+    run(
+        "  ...fixed with exponential backoff",
+        RequestSpec(
+            library="basichttp",
+            retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT,
+            backoff=Backoff.EXPONENTIAL,
+        ),
+        OFFLINE,
+    )
+
+    print("\n== Fig 3: Volley defaults (2500 ms timeout, 1 retry) ==")
+    sizes = [2 * 1024 * (2 ** i) for i in range(11)]
+    labels = ["2K", "4K", "8K", "16K", "32K", "64K", "128K", "256K", "512K", "1M", "2M"]
+    policy = RequestPolicy.volley_default()
+    print(f"  {'size':>6s}  {'3G clean':>9s}  {'3G +10% loss':>12s}")
+    for size, label in zip(sizes, labels):
+        clean = download_success_rate(THREE_G, size, policy, trials=150)
+        lossy = download_success_rate(THREE_G_LOSSY, size, policy, trials=150)
+        bar = "#" * round(lossy * 20)
+        print(f"  {label:>6s}  {clean:9.2f}  {lossy:12.2f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Quickstart: build a small (buggy) Android-style app in the IR, scan it
+with NChecker, and read the warning reports.
+
+The app reproduces the paper's Fig 5 shape: a click handler starts an
+AsyncTask whose ``doInBackground`` issues a Basic-HTTP request — without a
+connectivity check, without a timeout, reading the response unchecked,
+and staying silent on failure.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import NChecker
+from repro.app import APK, Manifest
+from repro.ir import ClassBuilder
+
+PKG = "com.example.quickstart"
+
+
+def build_app() -> APK:
+    manifest = Manifest(
+        PKG,
+        activities=[f"{PKG}.MainActivity"],
+        permissions=["android.permission.INTERNET"],
+    )
+
+    # The Activity: a click handler that fires the task.
+    activity = ClassBuilder(f"{PKG}.MainActivity", "android.app.Activity")
+    on_click = activity.method("onClick", params=[("android.view.View", "v")])
+    task = on_click.new(f"{PKG}.FetchTask", "task")
+    on_click.call(task, "execute")
+    on_click.ret()
+    activity.add(on_click)
+
+    # The AsyncTask: the blocking request lives in doInBackground.
+    fetch = ClassBuilder(f"{PKG}.FetchTask", "android.os.AsyncTask")
+    bg = fetch.method("doInBackground")
+    client = bg.new("com.turbomanage.httpclient.BasicHttpClient", "client")
+    client_cls = "com.turbomanage.httpclient.BasicHttpClient"
+    response = bg.call(
+        client, "get", "http://api.example.com/feed", ret="response",
+        cls=client_cls, return_type="com.turbomanage.httpclient.HttpResponse",
+    )
+    bg.call(
+        response, "getBodyAsString", ret="body",
+        cls="com.turbomanage.httpclient.HttpResponse",
+    )  # no null/status check: crashes under disruption
+    bg.ret()
+    fetch.add(bg)
+    post = fetch.method("onPostExecute", params=[("java.lang.String", "r")])
+    post.ret()  # silent: the user never learns the request failed
+    fetch.add(post)
+
+    apk = APK(manifest, [activity.build(), fetch.build()])
+    apk.validate()
+    return apk
+
+
+def main() -> None:
+    apk = build_app()
+    result = NChecker().scan(apk)
+
+    print(f"Scanned {apk.package}: {len(result.requests)} network request(s), "
+          f"{len(result.findings)} NPD(s)\n")
+    for report in result.reports():
+        print(report.render())
+        print("-" * 72)
+
+
+if __name__ == "__main__":
+    main()

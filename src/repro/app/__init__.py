@@ -1,0 +1,32 @@
+"""Android application model: manifests, components, APK containers."""
+
+from .apk import APK
+from .components import (
+    ASYNC_TASK_CALLBACKS,
+    ASYNC_TASK_CLASS,
+    ASYNC_TASK_EXECUTE_METHODS,
+    COMPONENT_BASE_CLASSES,
+    ComponentKind,
+    FRAMEWORK_HIERARCHY,
+    LIFECYCLE_METHODS,
+    UI_CALLBACK_METHODS,
+)
+from .loader import dumps_apk, load_apk, loads_apk, save_apk
+from .manifest import Manifest
+
+__all__ = [
+    "APK",
+    "ASYNC_TASK_CALLBACKS",
+    "ASYNC_TASK_CLASS",
+    "ASYNC_TASK_EXECUTE_METHODS",
+    "COMPONENT_BASE_CLASSES",
+    "ComponentKind",
+    "FRAMEWORK_HIERARCHY",
+    "LIFECYCLE_METHODS",
+    "Manifest",
+    "UI_CALLBACK_METHODS",
+    "dumps_apk",
+    "load_apk",
+    "loads_apk",
+    "save_apk",
+]

@@ -1,0 +1,82 @@
+"""The APK container: manifest + class hierarchy, the unit NChecker scans."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..ir.classes import ClassHierarchy, IRClass
+from ..ir.method import IRMethod
+from .components import COMPONENT_BASE_CLASSES, FRAMEWORK_HIERARCHY, ComponentKind
+from .manifest import Manifest
+
+
+class APK:
+    """An analysable app binary: a manifest plus its classes.
+
+    Construction wires the modelled Android framework hierarchy into the
+    app's :class:`ClassHierarchy`, so subtype queries spanning the
+    framework boundary (``MyActivity <: android.content.Context``) work.
+    """
+
+    def __init__(self, manifest: Manifest, classes: Optional[list[IRClass]] = None) -> None:
+        self.manifest = manifest
+        self.hierarchy = ClassHierarchy()
+        for sub, sup in FRAMEWORK_HIERARCHY:
+            self.hierarchy.add_external_edge(sub, sup)
+        for cls in classes or []:
+            self.add_class(cls)
+
+    @property
+    def package(self) -> str:
+        return self.manifest.package
+
+    def add_class(self, cls: IRClass) -> None:
+        self.hierarchy.add_class(cls)
+
+    def classes(self) -> Iterator[IRClass]:
+        yield from self.hierarchy
+
+    def methods(self) -> Iterator[IRMethod]:
+        for cls in self.hierarchy:
+            yield from cls.methods()
+
+    def get_class(self, name: str) -> Optional[IRClass]:
+        return self.hierarchy.get(name)
+
+    def component_kind_of(self, class_name: str) -> Optional[ComponentKind]:
+        """The component kind of ``class_name``, from the manifest first and
+        falling back to the framework base-class hierarchy (inner classes
+        and helpers are not declared in the manifest)."""
+        declared = self.manifest.component_kind(class_name)
+        if declared is not None:
+            return declared
+        for kind, bases in COMPONENT_BASE_CLASSES.items():
+            for base in bases:
+                if self.hierarchy.is_subtype(class_name, base):
+                    return kind
+        return None
+
+    def validate(self) -> None:
+        """Check manifest/class consistency and every method body."""
+        for _, name in self.manifest.components():
+            if name not in self.hierarchy:
+                raise ValueError(
+                    f"{self.package}: manifest declares missing class {name}"
+                )
+        for method in self.methods():
+            method.validate()
+
+    def stats(self) -> dict[str, int]:
+        n_methods = 0
+        n_stmts = 0
+        for method in self.methods():
+            n_methods += 1
+            n_stmts += len(method.statements)
+        return {
+            "classes": len(self.hierarchy),
+            "methods": n_methods,
+            "statements": n_stmts,
+        }
+
+    def __repr__(self) -> str:
+        return f"<APK {self.package} ({len(self.hierarchy)} classes)>"

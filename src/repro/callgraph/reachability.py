@@ -1,0 +1,80 @@
+"""Reachability and call-chain extraction over the call graph.
+
+NChecker's reports include the call stack from an entry point to the
+buggy request (paper §4.6, Fig 7); the context inference (§4.4.2) needs
+to know *which* entry points reach a request.  Both are path queries
+answered here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .cha import CallEdge, CallGraph
+from .entrypoints import EntryPoint, MethodKey
+
+
+@dataclass(frozen=True)
+class CallChain:
+    """A path of call edges from an entry point to a call site."""
+
+    entry: EntryPoint
+    edges: tuple[CallEdge, ...]
+
+    @property
+    def target_method(self) -> MethodKey:
+        return self.edges[-1].callee if self.edges else self.entry.key
+
+    def frames(self) -> list[tuple[MethodKey, int]]:
+        """(method, call-site statement index) frames, outermost first."""
+        return [(edge.caller, edge.stmt_index) for edge in self.edges]
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+
+def chains_to_method(
+    graph: CallGraph,
+    target: MethodKey,
+    max_chains: int = 32,
+    max_depth: int = 24,
+) -> list[CallChain]:
+    """Call chains from each entry point to ``target`` (DFS, cycle-free).
+
+    Chains are truncated at ``max_chains`` per app to bound path explosion
+    (the corpus apps are small; real scans would cap similarly).
+    """
+    chains: list[CallChain] = []
+    for entry in graph.entry_points:
+        if entry.key not in graph.methods:
+            continue
+        if entry.key == target:
+            chains.append(CallChain(entry, ()))
+            continue
+        stack: list[tuple[MethodKey, tuple[CallEdge, ...]]] = [(entry.key, ())]
+        while stack and len(chains) < max_chains:
+            node, path = stack.pop()
+            if len(path) >= max_depth:
+                continue
+            for edge in graph.callees(node):
+                if any(e.caller == edge.callee for e in path):
+                    continue  # avoid cycles
+                new_path = path + (edge,)
+                if edge.callee == target:
+                    chains.append(CallChain(entry, new_path))
+                    if len(chains) >= max_chains:
+                        break
+                else:
+                    stack.append((edge.callee, new_path))
+    return chains
+
+
+def entries_reaching(graph: CallGraph, target: MethodKey) -> list[EntryPoint]:
+    """Entry points from which ``target`` is reachable."""
+    reaching = []
+    for entry in graph.entry_points:
+        if entry.key not in graph.methods:
+            continue
+        if target in graph.reachable_from(entry.key):
+            reaching.append(entry)
+    return reaching

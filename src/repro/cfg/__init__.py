@@ -1,0 +1,15 @@
+"""Control-flow substrate: CFGs, dominators, loops, control dependence."""
+
+from .dominators import DominatorTree, control_dependence
+from .graph import CFG, may_throw
+from .loops import Loop, loops_containing, natural_loops
+
+__all__ = [
+    "CFG",
+    "DominatorTree",
+    "Loop",
+    "control_dependence",
+    "loops_containing",
+    "may_throw",
+    "natural_loops",
+]

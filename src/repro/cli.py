@@ -1,0 +1,286 @@
+"""Command-line interface: ``nchecker``.
+
+Subcommands:
+
+* ``scan <app.apkt> [...]`` — detect NPDs in app files and print §4.6
+  warning reports;
+* ``experiments [ids...]`` — regenerate the paper's tables/figures;
+* ``corpus <dir> [--apps N]`` — emit the synthetic evaluation corpus as
+  ``.apkt`` files (inspectable, re-scannable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .app.loader import dumps_apk, load_apk
+from .core.checker import NChecker, NCheckerOptions
+from .corpus.generator import CorpusGenerator
+from .corpus.profiles import PAPER_PROFILE
+from .eval.experiments import EXPERIMENTS
+
+
+def _cmd_scan(args: argparse.Namespace) -> int:
+    options = NCheckerOptions(
+        guard_aware_connectivity=args.guard_aware,
+        interprocedural_connectivity=not args.intraprocedural,
+    )
+    checker = NChecker(options=options)
+    exit_code = 0
+    json_payload = []
+    for path in args.apps:
+        apk = _load_or_die(path)
+        result = checker.scan(apk)
+        if args.json:
+            json_payload.append(result.to_dict())
+            if result.is_buggy:
+                exit_code = 1
+            continue
+        print(f"== {apk.package}: {len(result.findings)} NPD(s), "
+              f"{len(result.requests)} request(s) ==")
+        if args.stats:
+            from .ir.metrics import app_metrics
+
+            for label, value in app_metrics(apk).as_rows():
+                print(f"  {label}: {value}")
+        if args.summary:
+            for kind, count in sorted(result.summary().items()):
+                print(f"  {kind}: {count}")
+        else:
+            for report in result.reports():
+                print(report.render())
+                print()
+        if result.is_buggy:
+            exit_code = 1
+    if args.json:
+        import json
+
+        print(json.dumps(json_payload, indent=2))
+    return exit_code
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    ids = args.ids or list(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    export_dir = Path(args.export) if args.export else None
+    if export_dir is not None:
+        export_dir.mkdir(parents=True, exist_ok=True)
+    for exp_id in ids:
+        report = EXPERIMENTS[exp_id]()
+        print(report)
+        print()
+        if export_dir is not None:
+            from .eval.export import export_report
+
+            for path in export_report(report, export_dir):
+                print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_patch(args: argparse.Namespace) -> int:
+    from .core.patcher import Patcher
+
+    checker = NChecker()
+    patcher = Patcher()
+    exit_code = 0
+    for path in args.apps:
+        apk = _load_or_die(path)
+        fixed, applied = patcher.patch_until_clean(apk, checker)
+        remaining = checker.scan(fixed).findings
+        out_path = Path(args.output or Path(path).with_suffix(".fixed.apkt"))
+        if len(args.apps) > 1:
+            out_path = Path(path).with_suffix(".fixed.apkt")
+        out_path.write_text(dumps_apk(fixed))
+        print(
+            f"{apk.package}: applied {len(applied)} patch(es), "
+            f"{len(remaining)} finding(s) remain -> {out_path}"
+        )
+        for patch in applied:
+            print(f"  {patch}")
+        if remaining:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from .core.diff import diff_scans
+
+    checker = NChecker()
+    before = checker.scan(_load_or_die(args.before))
+    after = checker.scan(_load_or_die(args.after))
+    diff = diff_scans(before, after)
+    print(diff.render())
+    if diff.introduced:
+        return 1
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .netsim.energy import estimate_energy
+    from .netsim.runtime import Runtime
+    from .netsim.scenarios import SCENARIOS
+
+    schedule = SCENARIOS.get(args.network)
+    if schedule is None:
+        print(f"unknown network scenario: {args.network}", file=sys.stderr)
+        print(f"available: {', '.join(SCENARIOS)}", file=sys.stderr)
+        return 2
+    apk = _load_or_die(args.app)
+    if args.entry:
+        cls_name, _, method_name = args.entry.rpartition(".")
+        entries = [(cls_name, method_name)]
+    else:
+        from .app.components import UI_CALLBACK_METHODS
+
+        entries = [
+            (cls.name, m.name)
+            for cls in apk.classes()
+            for m in cls.methods()
+            if m.name in UI_CALLBACK_METHODS or m.name == "onStartCommand"
+        ]
+    if not entries:
+        print("no entry points found", file=sys.stderr)
+        return 2
+    exit_code = 0
+    for cls_name, method_name in entries:
+        runtime = Runtime(
+            apk, schedule, seed=args.seed,
+            invalid_response_rate=args.invalid_response_rate,
+        )
+        report = runtime.run_entry(cls_name, method_name)
+        symptoms = []
+        if report.crashed:
+            symptoms.append(f"CRASH({report.crash_type})")
+            exit_code = 1
+        if report.silent_failure:
+            symptoms.append("SILENT-FAILURE")
+        if report.battery_drain:
+            symptoms.append(f"BATTERY-DRAIN({report.attempts_per_minute:.0f}/min)")
+        energy = estimate_energy(report)
+        print(
+            f"{cls_name.rsplit('.', 1)[-1]}.{method_name} on {args.network}: "
+            f"{', '.join(symptoms) or 'ok'} | "
+            f"requests {report.requests_succeeded}/{report.network_attempts}, "
+            f"{report.sim_time_ms:.0f} ms simulated, "
+            f"{energy.total_mj:.0f} mJ radio"
+        )
+    return exit_code
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    out_dir = Path(args.directory)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    generator = CorpusGenerator(PAPER_PROFILE.scaled(args.apps))
+    for apk, truth in generator.iter_apps():
+        path = out_dir / f"{apk.package}.apkt"
+        path.write_text(dumps_apk(apk))
+    print(f"wrote {args.apps} apps to {out_dir}")
+    return 0
+
+
+def _load_or_die(path: str):
+    from .ir.parser import ParseError
+
+    try:
+        return load_apk(path)
+    except FileNotFoundError:
+        print(f"error: no such file: {path}", file=sys.stderr)
+        raise SystemExit(2)
+    except ParseError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+    except ValueError as exc:
+        print(f"error: {path}: {exc}", file=sys.stderr)
+        raise SystemExit(2)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="nchecker",
+        description="Detect network programming defects (NPDs) in "
+        "Android-style app binaries (.apkt).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="scan app files for NPDs")
+    scan.add_argument("apps", nargs="+", help=".apkt files to scan")
+    scan.add_argument(
+        "--summary", action="store_true", help="print per-kind counts only"
+    )
+    scan.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    scan.add_argument(
+        "--stats", action="store_true", help="also print app code metrics"
+    )
+    scan.add_argument(
+        "--guard-aware",
+        action="store_true",
+        help="require connectivity checks to control-guard the request",
+    )
+    scan.add_argument(
+        "--intraprocedural",
+        action="store_true",
+        help="restrict the connectivity analysis to the request's method",
+    )
+    scan.set_defaults(func=_cmd_scan)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("ids", nargs="*", help=f"subset of: {', '.join(EXPERIMENTS)}")
+    experiments.add_argument(
+        "--export", metavar="DIR", help="also write CSV/JSON artifacts to DIR"
+    )
+    experiments.set_defaults(func=_cmd_experiments)
+
+    patch = sub.add_parser(
+        "patch", help="apply fix suggestions and write a patched .apkt"
+    )
+    patch.add_argument("apps", nargs="+", help=".apkt files to patch")
+    patch.add_argument(
+        "-o", "--output", help="output path (single input only; default: "
+        "<input>.fixed.apkt)"
+    )
+    patch.set_defaults(func=_cmd_patch)
+
+    diff = sub.add_parser(
+        "diff", help="compare the findings of two app versions"
+    )
+    diff.add_argument("before")
+    diff.add_argument("after")
+    diff.set_defaults(func=_cmd_diff)
+
+    run = sub.add_parser(
+        "run", help="execute an app's entry points against a simulated network"
+    )
+    run.add_argument("app", help=".apkt file to run")
+    run.add_argument(
+        "--network", default="poor-3g",
+        help="scenario name (wifi, 3g, offline, poor-3g, commute, subway, ...)",
+    )
+    run.add_argument("--entry", help="fully qualified Class.method (default: all)")
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument(
+        "--invalid-response-rate", type=float, default=0.5,
+        help="probability a completed request carries an HTTP error",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    corpus = sub.add_parser("corpus", help="emit the synthetic corpus as .apkt files")
+    corpus.add_argument("directory")
+    corpus.add_argument("--apps", type=int, default=285)
+    corpus.set_defaults(func=_cmd_corpus)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""NChecker core: the paper's contribution.
+
+Public surface:
+
+* :class:`NChecker` / :class:`NCheckerOptions` — the detector;
+* :class:`ScanResult` / :class:`Finding` — results;
+* :func:`build_report` — §4.6 warning reports;
+* the NPD taxonomy (:class:`DefectKind`, :class:`Impact`, ...).
+"""
+
+from .checker import NChecker, NCheckerOptions, ScanResult
+from .defects import (
+    DefectKind,
+    FIX_SUGGESTIONS,
+    IMPACT_DISTRIBUTION,
+    Impact,
+    KIND_IMPACT,
+    KIND_PATTERN,
+    KIND_ROOT_CAUSE,
+    MisusePattern,
+    ROOT_CAUSE_CASES,
+    RootCause,
+    defect_info,
+)
+from .diff import ScanDiff, diff_scans
+from .findings import Finding, context_of
+from .patcher import AppliedPatch, PatchResult, Patcher
+from .report import WarningReport, build_report
+from .requests import AnalysisContext, NetworkRequest, find_requests
+from .retry_loops import RetryLoop, identify_retry_loops
+
+__all__ = [
+    "AnalysisContext",
+    "DefectKind",
+    "FIX_SUGGESTIONS",
+    "Finding",
+    "IMPACT_DISTRIBUTION",
+    "Impact",
+    "KIND_IMPACT",
+    "KIND_PATTERN",
+    "KIND_ROOT_CAUSE",
+    "MisusePattern",
+    "NChecker",
+    "NCheckerOptions",
+    "NetworkRequest",
+    "PatchResult",
+    "Patcher",
+    "AppliedPatch",
+    "ROOT_CAUSE_CASES",
+    "RetryLoop",
+    "RootCause",
+    "ScanDiff",
+    "diff_scans",
+    "ScanResult",
+    "WarningReport",
+    "build_report",
+    "context_of",
+    "defect_info",
+    "find_requests",
+    "identify_retry_loops",
+]

@@ -1,0 +1,206 @@
+"""The NChecker orchestrator (paper §4).
+
+``NChecker.scan(apk)`` runs the full pipeline: build the call graph,
+extract network requests with their contexts, identify customized retry
+loops, and run the four analyses of §4.4.  The result object carries the
+findings plus the per-request facts the evaluation harness aggregates
+into the paper's tables and CDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..app.apk import APK
+from ..libmodels import default_registry
+from ..libmodels.annotations import LibraryRegistry
+from .checks.config_apis import ConfigAPICheck, RequestConfigInfo
+from .checks.connectivity import ConnectivityCheck
+from .checks.notification import NotificationCheck, NotificationInfo
+from .checks.response import ResponseCheck
+from .checks.retry_params import RetryParameterCheck
+from .defects import DefectKind
+from .findings import Finding
+from .report import WarningReport, build_report
+from .requests import AnalysisContext, NetworkRequest, find_requests
+from .retry_loops import RetryLoop, identify_retry_loops
+
+
+@dataclass(frozen=True)
+class NCheckerOptions:
+    """Analysis knobs; the defaults reproduce the paper's configuration.
+
+    The non-default settings exist for the ablation benchmarks:
+    ``guard_aware_connectivity`` trades the paper's path-insensitive
+    connectivity check (cheap, 5 known FNs) for a control-dependence-aware
+    one; ``interprocedural_connectivity=False`` restricts the check to the
+    request's own method; ``detect_retry_loops=False`` disables §4.5.
+    """
+
+    guard_aware_connectivity: bool = False
+    interprocedural_connectivity: bool = True
+    detect_retry_loops: bool = True
+    notification_callee_depth: int = 2
+    #: Enable the experimental network-switch analysis (paper Cause 4,
+    #: which the original tool could not check — §4.2).  Needs a registry
+    #: including the aSmack model (`repro.libmodels.extended_registry`).
+    check_network_switch: bool = False
+    #: Enable the inter-component extension (the paper's §4.7 future work:
+    #: IccTA-style flows).  Launcher-side connectivity checks and
+    #: broadcast-routed error displays are then recognised, removing the
+    #: paper's two FP classes.
+    inter_component: bool = False
+    enabled_checks: frozenset[str] = frozenset(
+        {"connectivity", "config-apis", "retry-parameters",
+         "failure-notification", "invalid-response"}
+    )
+
+
+@dataclass
+class ScanResult:
+    """Everything one app scan produced."""
+
+    apk: APK
+    requests: list[NetworkRequest]
+    findings: list[Finding]
+    retry_loops: list[RetryLoop]
+    config_info: dict[int, RequestConfigInfo] = field(default_factory=dict)
+    notification_info: dict[int, NotificationInfo] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        return self.apk.package
+
+    @property
+    def is_buggy(self) -> bool:
+        return bool(self.findings)
+
+    def findings_of(self, *kinds: DefectKind) -> list[Finding]:
+        wanted = set(kinds)
+        return [f for f in self.findings if f.kind in wanted]
+
+    def count_of(self, *kinds: DefectKind) -> int:
+        return len(self.findings_of(*kinds))
+
+    def config_of(self, request: NetworkRequest) -> Optional[RequestConfigInfo]:
+        return self.config_info.get(id(request))
+
+    def notification_of(self, request: NetworkRequest) -> Optional[NotificationInfo]:
+        return self.notification_info.get(id(request))
+
+    def libraries_used(self) -> set[str]:
+        return {r.library.key for r in self.requests}
+
+    def reports(self) -> list[WarningReport]:
+        return [build_report(f) for f in self.findings]
+
+    def to_dict(self) -> dict:
+        """JSON-safe view of the scan (for `nchecker scan --json`)."""
+        return {
+            "package": self.package,
+            "requests": [
+                {
+                    "location": r.location(),
+                    "library": r.library.key,
+                    "target": r.target.qualified,
+                    "http_method": r.http_method.value,
+                    "user_initiated": r.user_initiated,
+                    "background": r.background,
+                }
+                for r in self.requests
+            ],
+            "findings": [
+                {
+                    "kind": f.kind.value,
+                    "location": f.location,
+                    "message": f.message,
+                    "context": f.context,
+                    "default_caused": f.default_caused,
+                    "impact": f.info.impact.value,
+                    "root_cause": f.info.root_cause.value,
+                }
+                for f in self.findings
+            ],
+            "summary": self.summary(),
+            "custom_retry_loops": len(self.retry_loops),
+        }
+
+    def summary(self) -> dict[str, int]:
+        by_kind: dict[str, int] = {}
+        for finding in self.findings:
+            by_kind[finding.kind.value] = by_kind.get(finding.kind.value, 0) + 1
+        return by_kind
+
+
+class NChecker:
+    """Static NPD detector for Android-style app binaries."""
+
+    def __init__(
+        self,
+        registry: Optional[LibraryRegistry] = None,
+        options: NCheckerOptions = NCheckerOptions(),
+    ) -> None:
+        self.registry = registry or default_registry()
+        self.options = options
+
+    def scan(self, apk: APK) -> ScanResult:
+        """Run all enabled analyses over one app."""
+        ctx = AnalysisContext.build(apk, self.registry)
+        requests = find_requests(ctx)
+
+        retry_loops: list[RetryLoop] = []
+        if self.options.detect_retry_loops:
+            retry_loops = identify_retry_loops(ctx, requests)
+        # The config check reads the loops off the context (kept loose to
+        # avoid a hard dependency cycle between the two analyses).
+        ctx.retry_loops = retry_loops  # type: ignore[attr-defined]
+
+        findings: list[Finding] = []
+        opts = self.options
+
+        icc_model = None
+        if opts.inter_component:
+            from ..callgraph.icc import build_icc_model
+
+            icc_model = build_icc_model(apk, ctx.cache)
+
+        config_check = ConfigAPICheck()
+        if "config-apis" in opts.enabled_checks:
+            findings.extend(config_check.run(ctx, requests))
+
+        if "connectivity" in opts.enabled_checks:
+            connectivity = ConnectivityCheck(
+                guard_aware=opts.guard_aware_connectivity,
+                interprocedural=opts.interprocedural_connectivity,
+                icc_model=icc_model,
+            )
+            findings.extend(connectivity.run(ctx, requests))
+
+        if "retry-parameters" in opts.enabled_checks:
+            retry_check = RetryParameterCheck(config_check)
+            findings.extend(retry_check.run(ctx, requests))
+
+        notification_check = NotificationCheck(
+            opts.notification_callee_depth, icc_model=icc_model
+        )
+        if "failure-notification" in opts.enabled_checks:
+            findings.extend(notification_check.run(ctx, requests))
+
+        if "invalid-response" in opts.enabled_checks:
+            findings.extend(ResponseCheck().run(ctx, requests))
+
+        if opts.check_network_switch:
+            from .checks.network_switch import NetworkSwitchCheck
+
+            findings.extend(NetworkSwitchCheck().run(ctx, requests))
+
+        findings.sort(key=lambda f: (f.method_key, f.stmt_index, f.kind.value))
+        return ScanResult(
+            apk,
+            requests,
+            findings,
+            retry_loops,
+            config_info=dict(config_check.info_by_request),
+            notification_info=dict(notification_check.info_by_request),
+        )

@@ -1,0 +1,21 @@
+"""NChecker's four analyses (paper §4.4) as pluggable checks."""
+
+from .base import Check, methods_invoking, request_frames
+from .config_apis import ConfigAPICheck, RequestConfigInfo
+from .connectivity import ConnectivityCheck
+from .notification import NotificationCheck, NotificationInfo
+from .response import ResponseCheck
+from .retry_params import RetryParameterCheck
+
+__all__ = [
+    "Check",
+    "ConfigAPICheck",
+    "ConnectivityCheck",
+    "NotificationCheck",
+    "NotificationInfo",
+    "RequestConfigInfo",
+    "ResponseCheck",
+    "RetryParameterCheck",
+    "methods_invoking",
+    "request_frames",
+]

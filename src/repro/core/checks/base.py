@@ -1,0 +1,65 @@
+"""Shared infrastructure for NChecker's analyses."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from ...callgraph.entrypoints import MethodKey
+from ..findings import Finding
+from ..requests import AnalysisContext, NetworkRequest
+
+
+class Check(Protocol):
+    """One NChecker analysis pass."""
+
+    name: str
+
+    def run(
+        self, ctx: AnalysisContext, requests: list[NetworkRequest]
+    ) -> list[Finding]: ...
+
+
+def methods_invoking(
+    ctx: AnalysisContext, predicate
+) -> set[MethodKey]:
+    """Closure of app methods that (transitively) invoke a call site
+    matching ``predicate`` — used to treat ``isNetworkOnline()``-style app
+    helpers as the checks they wrap."""
+    direct: set[MethodKey] = set()
+    for key, method in ctx.callgraph.methods.items():
+        for _idx, invoke in method.invoke_sites():
+            if predicate(invoke):
+                direct.add(key)
+                break
+    # Fixpoint over callers-of: a method "performs" the action if it calls
+    # a method that does.
+    result = set(direct)
+    changed = True
+    while changed:
+        changed = False
+        for key in list(ctx.callgraph.methods):
+            if key in result:
+                continue
+            for edge in ctx.callgraph.callees(key):
+                if edge.callee in result:
+                    result.add(key)
+                    changed = True
+                    break
+    return result
+
+
+def request_frames(
+    request: NetworkRequest,
+) -> list[list[tuple[MethodKey, int]]]:
+    """Per call chain, the (method, call-site index) frames ending at the
+    request statement itself."""
+    frames_per_chain = []
+    for chain in request.chains:
+        frames = chain.frames()
+        frames.append((request.key, request.stmt_index))
+        frames_per_chain.append(frames)
+    if not frames_per_chain:
+        # Unreached requests (library callbacks we could not resolve, dead
+        # code): analyse the enclosing method alone.
+        frames_per_chain.append([(request.key, request.stmt_index)])
+    return frames_per_chain

@@ -1,0 +1,381 @@
+"""Config-API analysis (paper §4.4.1, taint part).
+
+For each request, NChecker taints the HTTP client object (or Volley's
+request object) at the call site, propagates backward to the allocation
+site and forward across its aliases, records every config API invoked on
+tainted objects, and reports the config kinds (timeout, retry) that were
+never set.  It also resolves the *values* passed to retry/timeout config
+APIs via constant propagation; the improper-parameter check consumes
+those.
+
+When the config object is held in a field or arrives as a parameter, the
+collection widens to the enclosing class and the chain's caller frames —
+the pragmatic stand-in for FlowDroid's interprocedural taint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...dataflow.constants import ConstantPropagation
+from ...dataflow.taint import ForwardTaint, trace_origins
+from ...ir.method import IRMethod
+from ...ir.statements import AssignStmt
+from ...ir.values import InvokeExpr, Local, NewExpr
+from ...libmodels.annotations import ConfigAPI, ConfigKind
+from ..defects import DefectKind
+from ..findings import Finding, context_of
+from ..requests import AnalysisContext, NetworkRequest
+from ..retry_loops import RetryLoop
+
+
+@dataclass
+class RequestConfigInfo:
+    """What configuration a request actually receives."""
+
+    request: NetworkRequest
+    satisfied: set[ConfigKind] = field(default_factory=set)
+    config_sites: list[tuple[int, ConfigAPI]] = field(default_factory=list)
+    #: Effective retry count: explicit constant, or the library default.
+    retries: int = 0
+    retries_from_default: bool = True
+    #: Effective timeout (ms); None = none configured and no library default.
+    timeout_ms: Optional[int] = None
+    timeout_from_default: bool = True
+    #: A customized retry loop wraps this request (credits MISSED_RETRY).
+    custom_retry_loop: Optional[RetryLoop] = None
+
+    @property
+    def has_timeout(self) -> bool:
+        return ConfigKind.TIMEOUT in self.satisfied
+
+    @property
+    def has_retry_config(self) -> bool:
+        return ConfigKind.RETRY in self.satisfied
+
+
+class ConfigAPICheck:
+    name = "config-apis"
+
+    def __init__(self, widen_to_class: bool = True) -> None:
+        self.widen_to_class = widen_to_class
+        #: Populated by run(); the retry-parameter check reads it.
+        self.info_by_request: dict[int, RequestConfigInfo] = {}
+
+    def run(
+        self, ctx: AnalysisContext, requests: list[NetworkRequest]
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        retry_loops = getattr(ctx, "retry_loops", [])
+        for request in requests:
+            info = self._collect(ctx, request)
+            info.custom_retry_loop = _loop_covering(retry_loops, request)
+            self.info_by_request[id(request)] = info
+            findings.extend(self._findings_for(ctx, request, info))
+        return findings
+
+    # -- collection ---------------------------------------------------------
+
+    def _collect(self, ctx: AnalysisContext, request: NetworkRequest) -> RequestConfigInfo:
+        info = RequestConfigInfo(request)
+        config_local = request.config_local()
+        method = request.method
+        if config_local is None:
+            self._apply_defaults(info)
+            return info
+        cfg = ctx.cache.cfg(method)
+        defuse = ctx.cache.defuse(method)
+
+        # Backward step (paper: "taints the HTTP client object at the call
+        # site ... performs backward propagation until reaching the call
+        # site of creating the HTTP client instance").  Factory chains like
+        # OkHttp's `call = client.newCall(req)` are followed through the
+        # invoke's receiver back to the client allocation.
+        seeds: set[tuple[int, str]] = set()
+        param_names: set[str] = set()
+        field_widened = False
+        visited: set[tuple[int, str]] = set()
+        worklist: list[tuple[int, str]] = [(request.stmt_index, config_local.name)]
+        while worklist:
+            at, name = worklist.pop()
+            if (at, name) in visited:
+                continue
+            visited.add((at, name))
+            for origin in trace_origins(cfg, at, name, defuse):
+                if origin < 0:
+                    # Parameter: the caller configured (or failed to
+                    # configure) the object before passing it in.
+                    seeds.add((-1, name))
+                    param_names.add(name)
+                    continue
+                seeds.add((origin, name))
+                stmt = method.statements[origin]
+                assert isinstance(stmt, AssignStmt)
+                value = stmt.value
+                if isinstance(value, NewExpr):
+                    continue  # reached the allocation: done
+                if isinstance(value, InvokeExpr) and value.base is not None:
+                    worklist.append((origin, value.base.name))
+                else:
+                    # Field load or opaque factory: the object escapes this
+                    # method, so sibling methods may configure it too.
+                    field_widened = True
+
+        # Forward step: config calls on any tainted alias between the
+        # definitions and the request are collected.
+        taint = ForwardTaint(cfg, seeds)
+        constants = ConstantPropagation(cfg)
+        self._scan_method(ctx, request, method, taint, constants, info)
+
+        if param_names:
+            self._scan_callers_for_params(ctx, request, param_names, info)
+        if field_widened and self.widen_to_class:
+            self._scan_widened(ctx, request, info)
+        self._apply_defaults(info)
+        return info
+
+    def _scan_callers_for_params(
+        self,
+        ctx: AnalysisContext,
+        request: NetworkRequest,
+        param_names: set[str],
+        info: RequestConfigInfo,
+    ) -> None:
+        """The config object arrives as a parameter: inspect each caller's
+        corresponding argument with the same taint discipline (a one-level
+        stand-in for FlowDroid's interprocedural propagation)."""
+        method = request.method
+        param_positions = {
+            p.name: i for i, p in enumerate(method.params) if p.name in param_names
+        }
+        for edge in ctx.callgraph.callers(request.key):
+            caller = ctx.callgraph.methods.get(edge.caller)
+            if caller is None:
+                continue
+            site = edge.stmt_index
+            invoke = caller.statements[site].invoke()
+            if invoke is None:
+                continue
+            for _name, position in param_positions.items():
+                if position >= len(invoke.args):
+                    continue
+                arg = invoke.args[position]
+                if not isinstance(arg, Local):
+                    continue
+                caller_cfg = ctx.cache.cfg(caller)
+                caller_defuse = ctx.cache.defuse(caller)
+                arg_seeds = {
+                    (origin, arg.name)
+                    for origin in trace_origins(caller_cfg, site, arg.name, caller_defuse)
+                    if origin >= 0
+                }
+                if not arg_seeds:
+                    # The caller received it as a parameter too (depth 2+):
+                    # treat it as tainted throughout the caller.
+                    arg_seeds = {(-1, arg.name)}
+                taint = ForwardTaint(caller_cfg, arg_seeds)
+                constants = ConstantPropagation(caller_cfg)
+                self._scan_method(ctx, request, caller, taint, constants, info)
+
+    def _scan_method(
+        self,
+        ctx: AnalysisContext,
+        request: NetworkRequest,
+        method: IRMethod,
+        taint: Optional[ForwardTaint],
+        constants: ConstantPropagation,
+        info: RequestConfigInfo,
+    ) -> None:
+        for idx, invoke in method.invoke_sites():
+            found = ctx.registry.find_config(invoke)
+            if found is None:
+                continue
+            lib, config = found
+            if lib.key != request.library.key:
+                continue
+            if taint is not None and not self._touches_taint(invoke, taint, idx):
+                continue
+            info.config_sites.append((idx, config))
+            info.satisfied.update(config.satisfies)
+            self._record_values(ctx, method, idx, invoke, config, constants, info)
+
+    @staticmethod
+    def _touches_taint(invoke: InvokeExpr, taint: ForwardTaint, idx: int) -> bool:
+        tainted = taint.tainted_before(idx)
+        if invoke.base is not None and invoke.base.name in tainted:
+            return True
+        return any(isinstance(a, Local) and a.name in tainted for a in invoke.args)
+
+    def _scan_widened(
+        self, ctx: AnalysisContext, request: NetworkRequest, info: RequestConfigInfo
+    ) -> None:
+        """Field-/parameter-held config objects: scan sibling methods of the
+        class and the chain's caller frames without taint filtering."""
+        scanned: set[int] = {id(request.method)}
+        cls = ctx.apk.get_class(request.method.class_name)
+        methods = list(cls.methods()) if cls is not None else []
+        for chain in request.chains:
+            for key, _site in chain.frames():
+                caller = ctx.callgraph.methods.get(key)
+                if caller is not None:
+                    methods.append(caller)
+        for method in methods:
+            if id(method) in scanned:
+                continue
+            scanned.add(id(method))
+            constants = ConstantPropagation(ctx.cache.cfg(method))
+            self._scan_method(ctx, request, method, None, constants, info)
+
+    def _record_values(
+        self,
+        ctx: AnalysisContext,
+        method: IRMethod,
+        idx: int,
+        invoke: InvokeExpr,
+        config: ConfigAPI,
+        constants: ConstantPropagation,
+        info: RequestConfigInfo,
+    ) -> None:
+        """Resolve retry counts / timeout values from config call arguments
+        (constant propagation — paper §4.4.2)."""
+        if ConfigKind.RETRY in config.satisfies:
+            value = self._retry_value(ctx, method, idx, invoke, config, constants, info)
+            if value is not None:
+                info.retries = value
+                info.retries_from_default = False
+        if ConfigKind.TIMEOUT in config.satisfies and config.kind is ConfigKind.TIMEOUT:
+            if config.param_index < len(invoke.args):
+                value = constants.constant_argument(
+                    idx, invoke.args[config.param_index]
+                )
+                if isinstance(value, int):
+                    info.timeout_ms = value
+                    info.timeout_from_default = False
+
+    def _retry_value(
+        self, ctx, method, idx, invoke, config, constants, info
+    ) -> Optional[int]:
+        name = invoke.sig.name
+        if name in ("setMaxRetries", "setMaxRetriesAndTimeout"):
+            if invoke.args:
+                value = constants.constant_argument(idx, invoke.args[0])
+                if isinstance(value, int):
+                    return value
+            return None
+        if name == "setRetryOnConnectionFailure":
+            if invoke.args:
+                value = constants.constant_argument(idx, invoke.args[0])
+                if isinstance(value, bool):
+                    return 1 if value else 0
+            return None
+        if name == "setRetryPolicy":
+            return self._policy_retries(ctx, method, idx, invoke, constants, info)
+        if name == "setHttpRequestRetryHandler":
+            handler = self._ctor_constant(ctx, method, idx, invoke, constants, 0)
+            # Apache's DefaultHttpRequestRetryHandler() retries 3 times when
+            # installed without an explicit count.
+            return handler if handler is not None else 3
+        return None
+
+    def _policy_retries(self, ctx, method, idx, invoke, constants, info) -> Optional[int]:
+        """Volley: setRetryPolicy(new DefaultRetryPolicy(timeout, retries,
+        backoff)) — retries is ctor argument 1; the timeout (argument 0) is
+        recorded on ``info`` as a side effect."""
+        timeout = self._ctor_constant(ctx, method, idx, invoke, constants, 0)
+        if timeout is not None:
+            info.timeout_ms = timeout
+            info.timeout_from_default = False
+        return self._ctor_constant(ctx, method, idx, invoke, constants, 1)
+
+    def _ctor_constant(
+        self, ctx, method, idx, invoke, constants, ctor_arg_index: int
+    ) -> Optional[int]:
+        """Resolve argument ``ctor_arg_index`` of the constructor of the
+        object passed as the config call's first argument (the
+        policy/handler-object indirection both Volley and Apache use)."""
+        if not invoke.args or not isinstance(invoke.args[0], Local):
+            return None
+        cfg = ctx.cache.cfg(method)
+        defuse = ctx.cache.defuse(method)
+        for origin in trace_origins(cfg, idx, invoke.args[0].name, defuse):
+            if origin < 0:
+                continue
+            stmt = method.statements[origin]
+            if not (isinstance(stmt, AssignStmt) and isinstance(stmt.value, NewExpr)):
+                continue
+            for ctor_idx in range(origin + 1, len(method.statements)):
+                ctor = method.statements[ctor_idx].invoke()
+                if (
+                    ctor is not None
+                    and ctor.is_constructor
+                    and ctor.base == stmt.target
+                ):
+                    if len(ctor.args) > ctor_arg_index:
+                        value = constants.constant_argument(
+                            ctor_idx, ctor.args[ctor_arg_index]
+                        )
+                        if isinstance(value, int):
+                            return value
+                    break
+        return None
+
+    def _apply_defaults(self, info: RequestConfigInfo) -> None:
+        defaults = info.request.library.defaults
+        if info.retries_from_default:
+            info.retries = defaults.retries
+        if info.timeout_from_default:
+            info.timeout_ms = defaults.timeout_ms
+
+    # -- findings -------------------------------------------------------------
+
+    def _findings_for(
+        self, ctx: AnalysisContext, request: NetworkRequest, info: RequestConfigInfo
+    ) -> list[Finding]:
+        findings: list[Finding] = []
+        library = request.library
+        if library.has_timeout_api and not info.has_timeout:
+            api = library.config_apis_of_kind(ConfigKind.TIMEOUT)[0]
+            findings.append(
+                Finding(
+                    DefectKind.MISSED_TIMEOUT,
+                    ctx.apk.package,
+                    request.key,
+                    request.stmt_index,
+                    f"No timeout set for {request.target.qualified} "
+                    f"(call {api.method})",
+                    request=request,
+                    context=context_of(request),
+                    details={"suggested_api": api.qualified},
+                )
+            )
+        if (
+            library.has_retry_api
+            and not info.has_retry_config
+            and info.custom_retry_loop is None
+        ):
+            api = library.config_apis_of_kind(ConfigKind.RETRY)[0]
+            findings.append(
+                Finding(
+                    DefectKind.MISSED_RETRY,
+                    ctx.apk.package,
+                    request.key,
+                    request.stmt_index,
+                    f"No retry policy set for {request.target.qualified} "
+                    f"(call {api.method})",
+                    request=request,
+                    context=context_of(request),
+                    details={"suggested_api": api.qualified},
+                )
+            )
+        return findings
+
+
+def _loop_covering(loops: list[RetryLoop], request: NetworkRequest) -> Optional[RetryLoop]:
+    for loop in loops:
+        if loop.method is request.method and request.stmt_index in loop.loop.body:
+            return loop
+        # The request's whole method may be the callee a caller loop retries.
+        if request.key in loop.retried_callees:
+            return loop
+    return None

@@ -1,0 +1,81 @@
+"""Synthetic app corpus: the stand-in for the paper's 285 evaluated apps.
+
+* :mod:`repro.corpus.snippets` — defect code-pattern emitters + ground truth;
+* :mod:`repro.corpus.generator` — seeded statistical corpus (Tables 6-8,
+  Figs 8-9);
+* :mod:`repro.corpus.opensource` — the deterministic 16-app accuracy
+  corpus (Table 9);
+* :mod:`repro.corpus.study` — the §2 empirical-study dataset (Tables 1-3,
+  Fig 4).
+"""
+
+from .appbuilder import AppBuilder
+from .casestudies import CASE_STUDIES, CaseStudy
+from .generator import AppStyle, CorpusGenerator
+from .groundtruth import (
+    AppGroundTruth,
+    Confusion,
+    OVER_RETRY_KINDS,
+    TABLE9_ROWS,
+    confusion_for_app,
+    overall_accuracy,
+    table9_confusions,
+)
+from .opensource import build_opensource_corpus
+from .profiles import CorpusProfile, DefectRates, LibraryMix, PAPER_PROFILE
+from .snippets import (
+    Backoff,
+    Connectivity,
+    InjectedRequest,
+    Notification,
+    RequestSpec,
+    RetryLoopShape,
+    SUPPORTED_LIBRARIES,
+    expected_defects,
+    inject_request,
+)
+from .study import (
+    IMPACT_CASES,
+    REPRESENTATIVE_NPDS,
+    ROOT_CAUSE_CASES,
+    STUDIED_APPS,
+    TOTAL_STUDIED_NPDS,
+    impact_distribution_percent,
+    root_cause_distribution_percent,
+)
+
+__all__ = [
+    "AppBuilder",
+    "CASE_STUDIES",
+    "CaseStudy",
+    "AppGroundTruth",
+    "AppStyle",
+    "Backoff",
+    "Confusion",
+    "Connectivity",
+    "CorpusGenerator",
+    "CorpusProfile",
+    "DefectRates",
+    "IMPACT_CASES",
+    "InjectedRequest",
+    "LibraryMix",
+    "Notification",
+    "OVER_RETRY_KINDS",
+    "PAPER_PROFILE",
+    "REPRESENTATIVE_NPDS",
+    "ROOT_CAUSE_CASES",
+    "RequestSpec",
+    "RetryLoopShape",
+    "STUDIED_APPS",
+    "SUPPORTED_LIBRARIES",
+    "TABLE9_ROWS",
+    "TOTAL_STUDIED_NPDS",
+    "build_opensource_corpus",
+    "confusion_for_app",
+    "expected_defects",
+    "impact_distribution_percent",
+    "inject_request",
+    "overall_accuracy",
+    "root_cause_distribution_percent",
+    "table9_confusions",
+]

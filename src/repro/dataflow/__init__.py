@@ -1,0 +1,25 @@
+"""Dataflow framework: worklist solver plus the concrete analyses
+NChecker needs (reaching definitions, def-use, liveness, constants,
+taint, slicing)."""
+
+from .constants import BOTTOM, ConstantPropagation, TOP
+from .framework import DataflowAnalysis, SetAnalysis
+from .liveness import Liveness
+from .reaching import DefUseChains, ReachingDefinitions
+from .slicing import Slicer
+from .taint import ForwardTaint, TaintPolicy, trace_origins
+
+__all__ = [
+    "BOTTOM",
+    "ConstantPropagation",
+    "DataflowAnalysis",
+    "DefUseChains",
+    "ForwardTaint",
+    "Liveness",
+    "ReachingDefinitions",
+    "SetAnalysis",
+    "Slicer",
+    "TOP",
+    "TaintPolicy",
+    "trace_origins",
+]

@@ -1,0 +1,138 @@
+"""A generic iterative (worklist) dataflow solver.
+
+All the concrete analyses in this package — reaching definitions,
+liveness, constant propagation, taint — instantiate this solver with a
+direction, a join, and a transfer function.  States are treated as opaque
+values compared with ``==``; concrete analyses use frozensets or dicts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Generic, TypeVar
+
+from ..cfg.graph import CFG
+
+State = TypeVar("State")
+
+
+class DataflowAnalysis(Generic[State]):
+    """Solve a monotone dataflow problem to a fixed point.
+
+    Subclasses (or callers via the functional constructor
+    :func:`solve_dataflow`) provide:
+
+    * ``direction`` — ``"forward"`` or ``"backward"``;
+    * ``initial(node)`` — the state at node boundaries before iteration;
+    * ``boundary()`` — the state at the entry (exit for backward);
+    * ``join(states)`` — the confluence operator;
+    * ``transfer(node, state)`` — the node transfer function.
+
+    After :meth:`solve`, ``in_states[n]`` / ``out_states[n]`` hold the
+    fixed point (for backward problems, "in" is still the state *before*
+    the node in program order, i.e. what the analysis computes leaving the
+    node against the flow).
+    """
+
+    direction = "forward"
+
+    def __init__(self, cfg: CFG) -> None:
+        self.cfg = cfg
+        self.in_states: dict[int, State] = {}
+        self.out_states: dict[int, State] = {}
+
+    # -- to be provided by concrete analyses --------------------------------
+
+    def initial(self, node: int) -> State:
+        raise NotImplementedError
+
+    def boundary(self) -> State:
+        raise NotImplementedError
+
+    def join(self, states: list[State]) -> State:
+        raise NotImplementedError
+
+    def transfer(self, node: int, state: State) -> State:
+        raise NotImplementedError
+
+    # -- solver --------------------------------------------------------------
+
+    def solve(self) -> "DataflowAnalysis[State]":
+        cfg = self.cfg
+        forward = self.direction == "forward"
+        if forward:
+            start, inputs, outputs = cfg.entry, cfg.preds, cfg.succs
+        else:
+            start, inputs, outputs = cfg.exit, cfg.succs, cfg.preds
+
+        for node in cfg.nodes():
+            self.in_states[node] = self.initial(node)
+            self.out_states[node] = self.initial(node)
+
+        worklist: deque[int] = deque(cfg.nodes())
+        queued = set(worklist)
+        self.in_states[start] = self.boundary()
+        self.out_states[start] = self.transfer(start, self.in_states[start])
+
+        while worklist:
+            node = worklist.popleft()
+            queued.discard(node)
+            if node != start:
+                incoming = [self.out_states[p] for p in inputs[node]]
+                self.in_states[node] = (
+                    self.join(incoming) if incoming else self.initial(node)
+                )
+            new_out = self.transfer(node, self.in_states[node])
+            if new_out != self.out_states[node] or node == start:
+                self.out_states[node] = new_out
+                for nxt in outputs[node]:
+                    if nxt not in queued:
+                        queued.add(nxt)
+                        worklist.append(nxt)
+        return self
+
+    # -- conveniences ---------------------------------------------------------
+
+    def state_before(self, node: int) -> State:
+        """The fixed-point state entering ``node`` along the flow direction."""
+        return self.in_states[node]
+
+    def state_after(self, node: int) -> State:
+        return self.out_states[node]
+
+
+class SetAnalysis(DataflowAnalysis[frozenset]):
+    """Convenience base for gen/kill-style set analyses.
+
+    ``may`` (union join) is the default; set ``must = True`` for
+    intersection join with a configurable universe.
+    """
+
+    must = False
+
+    def universe(self) -> frozenset:
+        """The full set, used as ⊤ for must-analyses."""
+        raise NotImplementedError("must-analyses need a universe")
+
+    def initial(self, node: int) -> frozenset:
+        return self.universe() if self.must else frozenset()
+
+    def boundary(self) -> frozenset:
+        return frozenset()
+
+    def join(self, states: list[frozenset]) -> frozenset:
+        if not states:
+            return self.initial(-1)
+        result = states[0]
+        for state in states[1:]:
+            result = (result & state) if self.must else (result | state)
+        return result
+
+    def gen(self, node: int) -> frozenset:
+        return frozenset()
+
+    def kill(self, node: int, state: frozenset) -> frozenset:
+        return frozenset()
+
+    def transfer(self, node: int, state: frozenset) -> frozenset:
+        return (state - self.kill(node, state)) | self.gen(node)

@@ -1,0 +1,36 @@
+"""Live-variable analysis (backward may)."""
+
+from __future__ import annotations
+
+from ..cfg.graph import CFG
+from .framework import SetAnalysis
+
+
+class Liveness(SetAnalysis):
+    """A local is live at a point if some path to a use avoids redefinition."""
+
+    direction = "backward"
+    must = False
+
+    def __init__(self, cfg: CFG) -> None:
+        super().__init__(cfg)
+        self._gen: dict[int, frozenset[str]] = {}
+        self._kill: dict[int, frozenset[str]] = {}
+        for idx, stmt in enumerate(cfg.method.statements):
+            self._gen[idx] = frozenset(u.name for u in stmt.uses())
+            self._kill[idx] = frozenset(d.name for d in stmt.defs())
+        self.solve()
+
+    def gen(self, node: int) -> frozenset:
+        return self._gen.get(node, frozenset())
+
+    def kill(self, node: int, state: frozenset) -> frozenset:
+        killed = self._kill.get(node, frozenset())
+        return frozenset(name for name in state if name in killed)
+
+    def live_before(self, node: int) -> frozenset[str]:
+        """Locals live immediately before statement ``node`` executes."""
+        return self.state_after(node)
+
+    def live_after(self, node: int) -> frozenset[str]:
+        return self.state_before(node)

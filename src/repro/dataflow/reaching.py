@@ -1,0 +1,79 @@
+"""Reaching definitions and def-use chains."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from ..cfg.graph import CFG
+from .framework import SetAnalysis
+
+#: A definition is ``(local_name, statement_index)``.
+Definition = tuple[str, int]
+
+
+class ReachingDefinitions(SetAnalysis):
+    """Classic may-reaching-definitions over locals."""
+
+    direction = "forward"
+    must = False
+
+    def __init__(self, cfg: CFG) -> None:
+        super().__init__(cfg)
+        self._defs_at: dict[int, frozenset[Definition]] = {}
+        self._kills_at: dict[int, frozenset[str]] = {}
+        for idx, stmt in enumerate(cfg.method.statements):
+            defined = stmt.defs()
+            self._defs_at[idx] = frozenset((d.name, idx) for d in defined)
+            self._kills_at[idx] = frozenset(d.name for d in defined)
+        self.solve()
+
+    def boundary(self) -> frozenset:
+        # Parameters (and `this`) are defined at a pseudo-index -1.
+        params = [p.name for p in self.cfg.method.params]
+        if not self.cfg.method.is_static:
+            params.append("this")
+        return frozenset((name, -1) for name in params)
+
+    def gen(self, node: int) -> frozenset:
+        return self._defs_at.get(node, frozenset())
+
+    def kill(self, node: int, state: frozenset) -> frozenset:
+        killed = self._kills_at.get(node, frozenset())
+        return frozenset(d for d in state if d[0] in killed)
+
+    def reaching(self, node: int, local_name: str) -> frozenset[int]:
+        """Indices of definitions of ``local_name`` reaching ``node``
+        (``-1`` denotes the parameter definition)."""
+        return frozenset(
+            idx for name, idx in self.state_before(node) if name == local_name
+        )
+
+
+class DefUseChains:
+    """Def→use and use→def maps derived from reaching definitions."""
+
+    def __init__(self, cfg: CFG, reaching: ReachingDefinitions | None = None) -> None:
+        self.cfg = cfg
+        self.reaching = reaching or ReachingDefinitions(cfg)
+        #: def site -> set of use sites
+        self.uses_of_def: dict[int, set[int]] = defaultdict(set)
+        #: (use site, local) -> set of def sites
+        self.defs_of_use: dict[tuple[int, str], set[int]] = defaultdict(set)
+        for idx, stmt in enumerate(cfg.method.statements):
+            for local in set(stmt.uses()):
+                def_sites = self.reaching.reaching(idx, local.name)
+                self.defs_of_use[(idx, local.name)] = set(def_sites)
+                for site in def_sites:
+                    self.uses_of_def[site].add(idx)
+
+    def definition_sites(self, use_index: int, local_name: str) -> set[int]:
+        """Definitions of ``local_name`` reaching ``use_index``.  Falls back
+        to the reaching-definitions state for locals not syntactically used
+        at the site (callers may ask about any live local)."""
+        found = self.defs_of_use.get((use_index, local_name))
+        if found is not None:
+            return found
+        return set(self.reaching.reaching(use_index, local_name))
+
+    def use_sites(self, def_index: int) -> set[int]:
+        return self.uses_of_def.get(def_index, set())

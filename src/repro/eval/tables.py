@@ -1,0 +1,46 @@
+"""Plain-text table rendering for the evaluation harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Align ``rows`` (first row is the header) into a text table."""
+    cells = [[str(c) for c in row] for row in rows]
+    if not cells:
+        return title
+    widths = [0] * max(len(row) for row in cells)
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header, *body = cells
+    lines.append("  ".join(c.ljust(w) for c, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_cdf(values: Sequence[float], n_bins: int = 10) -> str:
+    """A terminal sparkline of a CDF over [0, 1] ratios."""
+    if not values:
+        return "(empty)"
+    sorted_values = sorted(values)
+    n = len(sorted_values)
+    lines = []
+    for i in range(1, n_bins + 1):
+        threshold = i / n_bins
+        fraction = sum(1 for v in sorted_values if v <= threshold) / n
+        bar = "#" * round(fraction * 40)
+        lines.append(f"  x<={threshold:.1f}  {fraction:5.2f} {bar}")
+    return "\n".join(lines)
+
+
+def percent(numerator: int, denominator: int) -> str:
+    if denominator == 0:
+        return "n/a"
+    return f"{round(100 * numerator / denominator)}%"

@@ -1,0 +1,411 @@
+"""Parser for the ``.apkt`` class text format (inverse of the printer).
+
+The format is line-oriented: one statement per line, labels on their own
+lines, traps declared at the end of the method body.  See
+:mod:`repro.ir.printer` for the grammar by example.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .classes import IRClass
+from .method import IRMethod, Trap
+from .statements import (
+    AssignStmt,
+    GotoStmt,
+    IfStmt,
+    InvokeStmt,
+    NopStmt,
+    ReturnStmt,
+    Stmt,
+    ThrowStmt,
+)
+from .values import (
+    ArrayRef,
+    BINARY_OPS,
+    BinaryExpr,
+    CastExpr,
+    CaughtExceptionExpr,
+    COND_OPS,
+    ConditionExpr,
+    Const,
+    FieldRef,
+    FieldSig,
+    InstanceOfExpr,
+    InvokeExpr,
+    LengthExpr,
+    Local,
+    MethodSig,
+    NewArrayExpr,
+    NewExpr,
+    UnaryExpr,
+    Value,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed ``.apkt`` input, with a line number."""
+
+    def __init__(self, message: str, line_no: int, line: str = "") -> None:
+        super().__init__(f"line {line_no}: {message}" + (f": {line!r}" if line else ""))
+        self.line_no = line_no
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_$][\w$]*):$")
+_INT_RE = re.compile(r"^-?\d+$")
+_FLOAT_RE = re.compile(r"^-?\d+\.\d+$")
+_IDENT_RE = re.compile(r"^[A-Za-z_$][\w$.]*$")
+_CALLEE_RE = re.compile(
+    r"^(?:(?P<base>[A-Za-z_$][\w$]*):)?(?P<cls>[\w$.]+)#(?P<name>[\w$<>]+)$"
+)
+_METHOD_RE = re.compile(
+    r"^method\s+(?P<ret>[\w$.\[\]]+)\s+(?P<name>[\w$<>]+)\((?P<params>[^)]*)\)"
+    r"(?P<static>\s+static)?\s*\{$"
+)
+_CLASS_RE = re.compile(
+    r"^(?P<kind>class|interface)\s+(?P<name>[\w$.]+)"
+    r"(?:\s+extends\s+(?P<super>[\w$.]+))?"
+    r"(?:\s+implements\s+(?P<ifaces>[\w$.,\s]+))?\s*\{$"
+)
+_TRAP_RE = re.compile(
+    r"^trap\s+(?P<exc>[\w$.]+)\s+from\s+(?P<begin>[\w$]+)\s+to\s+(?P<end>[\w$]+)"
+    r"\s+using\s+(?P<handler>[\w$]+)$"
+)
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``#``-to-end-of-line comments outside string literals.
+
+    A ``#`` inside single quotes (string constants) or in an invoke callee
+    (``cls#name(``) is kept: invoke callees are recognised because the
+    character following the hash is an identifier character and the line
+    starts with/contains ``invoke``.
+    """
+    out = []
+    in_str = False
+    i = 0
+    while i < len(line):
+        ch = line[i]
+        if ch == "'":
+            in_str = not in_str
+        if ch == "#" and not in_str:
+            # Hash inside an invoke callee: letter/underscore/'<' follows.
+            nxt = line[i + 1] if i + 1 < len(line) else " "
+            if not (nxt.isalnum() or nxt in "_$<"):
+                break
+        out.append(ch)
+        i += 1
+    return "".join(out).strip()
+
+
+def _split_args(text: str) -> list[str]:
+    """Split a comma-separated argument list, respecting quoted strings."""
+    parts: list[str] = []
+    depth_str = False
+    current: list[str] = []
+    for ch in text:
+        if ch == "'":
+            depth_str = not depth_str
+            current.append(ch)
+        elif ch == "," and not depth_str:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_atom(token: str, line_no: int = 0) -> Value:
+    token = token.strip()
+    if token == "null":
+        return Const(None)
+    if token == "true":
+        return Const(True)
+    if token == "false":
+        return Const(False)
+    if _INT_RE.match(token):
+        return Const(int(token))
+    if _FLOAT_RE.match(token):
+        return Const(float(token))
+    if token.startswith("'") and token.endswith("'") and len(token) >= 2:
+        return Const(token[1:-1])
+    if _IDENT_RE.match(token) and "." not in token:
+        return Local(token)
+    raise ParseError(f"cannot parse atom {token!r}", line_no)
+
+
+def _parse_invoke(text: str, line_no: int) -> InvokeExpr:
+    rest = text[len("invoke "):].strip()
+    try:
+        kind, rest = rest.split(None, 1)
+    except ValueError:
+        raise ParseError("malformed invoke", line_no, text) from None
+    return_type = "java.lang.Object"
+    if "->" in rest:
+        rest, ret = rest.rsplit("->", 1)
+        return_type = ret.strip()
+        rest = rest.strip()
+    open_paren = rest.index("(")
+    if not rest.endswith(")"):
+        raise ParseError("invoke missing closing parenthesis", line_no, text)
+    callee_text = rest[:open_paren]
+    args_text = rest[open_paren + 1 : -1]
+    match = _CALLEE_RE.match(callee_text)
+    if match is None:
+        raise ParseError(f"malformed invoke callee {callee_text!r}", line_no)
+    args = tuple(parse_atom(a, line_no) for a in _split_args(args_text))
+    sig = MethodSig(
+        match.group("cls"),
+        match.group("name"),
+        tuple("?" for _ in args),
+        return_type,
+    )
+    base = Local(match.group("base")) if match.group("base") else None
+    try:
+        return InvokeExpr(kind, base, sig, args)
+    except ValueError as exc:  # unknown kind, receiver mismatch
+        raise ParseError(str(exc), line_no, text) from None
+
+
+def _parse_rhs(text: str, line_no: int) -> Value:
+    text = text.strip()
+    if text.startswith("new "):
+        return NewExpr(text[4:].strip())
+    if text.startswith("newarray "):
+        _, elem, size = text.split(None, 2)
+        return NewArrayExpr(elem, parse_atom(size, line_no))
+    if text.startswith("invoke "):
+        return _parse_invoke(text, line_no)
+    if text.startswith("getstatic "):
+        qualified = text[len("getstatic "):].strip()
+        cls, _, name = qualified.rpartition(".")
+        return FieldRef(None, FieldSig(cls, name))
+    if text.startswith("getfield "):
+        _, base, qualified = text.split(None, 2)
+        cls, _, name = qualified.rpartition(".")
+        return FieldRef(Local(base), FieldSig(cls, name))
+    if text.startswith("aload "):
+        _, base, index = text.split(None, 2)
+        return ArrayRef(Local(base), parse_atom(index, line_no))
+    if text.startswith("cast "):
+        _, type_name, value = text.split(None, 2)
+        return CastExpr(type_name, parse_atom(value, line_no))
+    if text.startswith(("neg ", "not ")):
+        op, operand = text.split(None, 1)
+        return UnaryExpr(op, parse_atom(operand, line_no))
+    if text.startswith("lengthof "):
+        return LengthExpr(parse_atom(text[len("lengthof "):], line_no))
+    if text.startswith("catch "):
+        return CaughtExceptionExpr(text[len("catch "):].strip())
+    if " instanceof " in text:
+        value, type_name = text.split(" instanceof ", 1)
+        return InstanceOfExpr(parse_atom(value, line_no), type_name.strip())
+    # Binary expression: "a OP b" with a single space-separated operator.
+    # String constants never contain spaces around operators in our corpus,
+    # but guard against splitting inside quotes anyway.
+    if not (text.startswith("'") and text.endswith("'")):
+        for op in sorted(BINARY_OPS, key=len, reverse=True):
+            sep = f" {op} "
+            if sep in text:
+                left, right = text.split(sep, 1)
+                return BinaryExpr(
+                    op, parse_atom(left, line_no), parse_atom(right, line_no)
+                )
+    return parse_atom(text, line_no)
+
+
+def parse_stmt(line: str, line_no: int = 0) -> Stmt:
+    """Parse one statement line (label lines are handled by the caller)."""
+    if line == "nop":
+        return NopStmt()
+    if line == "return":
+        return ReturnStmt()
+    if line.startswith("return "):
+        return ReturnStmt(parse_atom(line[7:], line_no))
+    if line.startswith("throw "):
+        return ThrowStmt(parse_atom(line[6:], line_no))
+    if line.startswith("goto "):
+        return GotoStmt(line[5:].strip())
+    if line.startswith("if "):
+        match = re.match(
+            r"^if\s+(\S+)\s+(==|!=|<=|>=|<|>)\s+(\S+)\s+goto\s+([\w$]+)$", line
+        )
+        if match is None:
+            raise ParseError("malformed if", line_no, line)
+        left, op, right, target = match.groups()
+        if op not in COND_OPS:
+            raise ParseError(f"unknown condition operator {op!r}", line_no)
+        return IfStmt(
+            ConditionExpr(op, parse_atom(left, line_no), parse_atom(right, line_no)),
+            target,
+        )
+    if line.startswith("invoke "):
+        return InvokeStmt(_parse_invoke(line, line_no))
+    if line.startswith("putfield "):
+        head, rhs = line.split(" = ", 1)
+        _, base, qualified = head.split(None, 2)
+        cls, _, name = qualified.rpartition(".")
+        return AssignStmt(
+            FieldRef(Local(base), FieldSig(cls, name)), parse_atom(rhs, line_no)
+        )
+    if line.startswith("putstatic "):
+        head, rhs = line.split(" = ", 1)
+        qualified = head[len("putstatic "):].strip()
+        cls, _, name = qualified.rpartition(".")
+        return AssignStmt(FieldRef(None, FieldSig(cls, name)), parse_atom(rhs, line_no))
+    if line.startswith("astore "):
+        head, rhs = line.split(" = ", 1)
+        _, base, index = head.split(None, 2)
+        return AssignStmt(
+            ArrayRef(Local(base), parse_atom(index, line_no)),
+            parse_atom(rhs, line_no),
+        )
+    if " = " in line:
+        target, rhs = line.split(" = ", 1)
+        target = target.strip()
+        if not _IDENT_RE.match(target) or "." in target:
+            raise ParseError(f"bad assignment target {target!r}", line_no, line)
+        return AssignStmt(Local(target), _parse_rhs(rhs, line_no))
+    raise ParseError("unrecognised statement", line_no, line)
+
+
+class _Cursor:
+    def __init__(self, text: str) -> None:
+        self.lines = text.splitlines()
+        self.pos = 0
+
+    def next_meaningful(self) -> Optional[tuple[int, str]]:
+        while self.pos < len(self.lines):
+            raw = self.lines[self.pos]
+            self.pos += 1
+            line = _strip_comment(raw)
+            if line:
+                return self.pos, line
+        return None
+
+    def peek(self) -> Optional[tuple[int, str]]:
+        saved = self.pos
+        result = self.next_meaningful()
+        self.pos = saved
+        return result
+
+
+def _parse_method(cursor: _Cursor, class_name: str, header: str, line_no: int) -> IRMethod:
+    match = _METHOD_RE.match(header)
+    if match is None:
+        raise ParseError("malformed method header", line_no, header)
+    params: list[Local] = []
+    param_types: list[str] = []
+    params_text = match.group("params").strip()
+    if params_text:
+        for part in params_text.split(","):
+            pieces = part.split()
+            if len(pieces) != 2:
+                raise ParseError(f"malformed parameter {part!r}", line_no)
+            param_types.append(pieces[0])
+            params.append(Local(pieces[1], pieces[0]))
+    sig = MethodSig(
+        class_name, match.group("name"), tuple(param_types), match.group("ret")
+    )
+    statements: list[Stmt] = []
+    labels: dict[str, int] = {}
+    traps: list[Trap] = []
+    while True:
+        item = cursor.next_meaningful()
+        if item is None:
+            raise ParseError("unexpected end of input in method body", line_no)
+        stmt_no, line = item
+        if line == "}":
+            break
+        label_match = _LABEL_RE.match(line)
+        if label_match is not None:
+            name = label_match.group(1)
+            if name in labels:
+                raise ParseError(f"duplicate label {name!r}", stmt_no)
+            labels[name] = len(statements)
+            continue
+        trap_match = _TRAP_RE.match(line)
+        if trap_match is not None:
+            traps.append(
+                Trap(
+                    trap_match.group("begin"),
+                    trap_match.group("end"),
+                    trap_match.group("handler"),
+                    trap_match.group("exc"),
+                )
+            )
+            continue
+        statements.append(parse_stmt(line, stmt_no))
+    method = IRMethod(
+        sig,
+        params,
+        statements,
+        labels,
+        traps,
+        is_static=bool(match.group("static")),
+    )
+    method.validate()
+    return method
+
+
+def _parse_class_body(cursor: _Cursor, header: str, line_no: int) -> IRClass:
+    match = _CLASS_RE.match(header)
+    if match is None:
+        raise ParseError("malformed class header", line_no, header)
+    interfaces: tuple[str, ...] = ()
+    if match.group("ifaces"):
+        interfaces = tuple(
+            part.strip() for part in match.group("ifaces").split(",") if part.strip()
+        )
+    cls = IRClass(
+        match.group("name"),
+        match.group("super") or "java.lang.Object",
+        interfaces,
+        is_interface=match.group("kind") == "interface",
+    )
+    while True:
+        item = cursor.next_meaningful()
+        if item is None:
+            raise ParseError("unexpected end of input in class body", line_no)
+        member_no, line = item
+        if line == "}":
+            break
+        if line.startswith("field "):
+            pieces = line.split()
+            if len(pieces) != 3:
+                raise ParseError("malformed field", member_no, line)
+            cls.add_field(FieldSig(cls.name, pieces[2], pieces[1]))
+            continue
+        if line.startswith("method "):
+            cls.add_method(_parse_method(cursor, cls.name, line, member_no))
+            continue
+        raise ParseError("unrecognised class member", member_no, line)
+    return cls
+
+
+def parse_class(text: str) -> IRClass:
+    """Parse exactly one class definition."""
+    classes = parse_classes(text)
+    if len(classes) != 1:
+        raise ParseError(f"expected exactly one class, found {len(classes)}", 0)
+    return classes[0]
+
+
+def parse_classes(text: str) -> list[IRClass]:
+    """Parse a sequence of class definitions."""
+    cursor = _Cursor(text)
+    classes: list[IRClass] = []
+    while True:
+        item = cursor.next_meaningful()
+        if item is None:
+            return classes
+        line_no, line = item
+        if line.startswith(("class ", "interface ")):
+            classes.append(_parse_class_body(cursor, line, line_no))
+        else:
+            raise ParseError("expected class or interface", line_no, line)

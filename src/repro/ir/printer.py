@@ -1,0 +1,173 @@
+"""Canonical text serialisation of the IR (the ``.apkt`` class format).
+
+The printer and :mod:`repro.ir.parser` round-trip: ``parse(print(cls))``
+reproduces an equivalent class.  Declared parameter types of call-site
+signatures are not preserved (they are written as ``?`` by the builders
+and resolution is by name + arity), which the format makes explicit by
+omitting them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .classes import IRClass
+from .method import IRMethod
+from .statements import (
+    AssignStmt,
+    GotoStmt,
+    IfStmt,
+    InvokeStmt,
+    NopStmt,
+    ReturnStmt,
+    Stmt,
+    ThrowStmt,
+)
+from .values import (
+    ArrayRef,
+    BinaryExpr,
+    CastExpr,
+    CaughtExceptionExpr,
+    Const,
+    FieldRef,
+    InstanceOfExpr,
+    InvokeExpr,
+    LengthExpr,
+    Local,
+    NewArrayExpr,
+    NewExpr,
+    UnaryExpr,
+    Value,
+)
+
+
+def format_value(value: Value) -> str:
+    """Render an atomic value or expression in parseable form."""
+    if isinstance(value, Local):
+        return value.name
+    if isinstance(value, Const):
+        return str(value)
+    if isinstance(value, NewExpr):
+        return f"new {value.class_name}"
+    if isinstance(value, NewArrayExpr):
+        return f"newarray {value.element_type} {format_value(value.size)}"
+    if isinstance(value, InvokeExpr):
+        return format_invoke(value)
+    if isinstance(value, FieldRef):
+        if value.base is None:
+            return f"getstatic {value.sig.class_name}.{value.sig.name}"
+        return f"getfield {value.base.name} {value.sig.class_name}.{value.sig.name}"
+    if isinstance(value, ArrayRef):
+        return f"aload {value.base.name} {format_value(value.index)}"
+    if isinstance(value, BinaryExpr):
+        return f"{format_value(value.left)} {value.op} {format_value(value.right)}"
+    if isinstance(value, UnaryExpr):
+        return f"{value.op} {format_value(value.operand)}"
+    if isinstance(value, CastExpr):
+        return f"cast {value.type_name} {format_value(value.value)}"
+    if isinstance(value, InstanceOfExpr):
+        return f"{format_value(value.value)} instanceof {value.type_name}"
+    if isinstance(value, LengthExpr):
+        return f"lengthof {format_value(value.value)}"
+    if isinstance(value, CaughtExceptionExpr):
+        return f"catch {value.exception_type}"
+    raise TypeError(f"unprintable value: {value!r}")
+
+
+def format_invoke(expr: InvokeExpr) -> str:
+    args = ", ".join(format_value(a) for a in expr.args)
+    if expr.base is None:
+        callee = f"{expr.sig.class_name}#{expr.sig.name}"
+    else:
+        callee = f"{expr.base.name}:{expr.sig.class_name}#{expr.sig.name}"
+    text = f"invoke {expr.kind} {callee}({args})"
+    if expr.sig.return_type not in ("void", "java.lang.Object"):
+        text += f" -> {expr.sig.return_type}"
+    return text
+
+
+def format_stmt(stmt: Stmt) -> str:
+    if isinstance(stmt, AssignStmt):
+        if isinstance(stmt.target, Local):
+            return f"{stmt.target.name} = {format_value(stmt.value)}"
+        if isinstance(stmt.target, FieldRef):
+            ref = stmt.target
+            rhs = format_value(stmt.value)
+            if ref.base is None:
+                return f"putstatic {ref.sig.class_name}.{ref.sig.name} = {rhs}"
+            return (
+                f"putfield {ref.base.name} "
+                f"{ref.sig.class_name}.{ref.sig.name} = {rhs}"
+            )
+        if isinstance(stmt.target, ArrayRef):
+            ref = stmt.target
+            return (
+                f"astore {ref.base.name} {format_value(ref.index)} = "
+                f"{format_value(stmt.value)}"
+            )
+        raise TypeError(f"unprintable assignment target: {stmt.target!r}")
+    if isinstance(stmt, InvokeStmt):
+        return format_invoke(stmt.expr)
+    if isinstance(stmt, IfStmt):
+        cond = stmt.condition
+        return (
+            f"if {format_value(cond.left)} {cond.op} "
+            f"{format_value(cond.right)} goto {stmt.target}"
+        )
+    if isinstance(stmt, GotoStmt):
+        return f"goto {stmt.target}"
+    if isinstance(stmt, ReturnStmt):
+        return "return" if stmt.value is None else f"return {format_value(stmt.value)}"
+    if isinstance(stmt, ThrowStmt):
+        return f"throw {format_value(stmt.value)}"
+    if isinstance(stmt, NopStmt):
+        return "nop"
+    raise TypeError(f"unprintable statement: {stmt!r}")
+
+
+def method_lines(method: IRMethod) -> Iterator[str]:
+    params = ", ".join(
+        f"{p.type_hint or 'java.lang.Object'} {p.name}" for p in method.params
+    )
+    static = " static" if method.is_static else ""
+    yield f"method {method.sig.return_type} {method.sig.name}({params}){static} {{"
+    by_index: dict[int, list[str]] = {}
+    for name, idx in method.labels.items():
+        by_index.setdefault(idx, []).append(name)
+    for idx, stmt in enumerate(method.statements):
+        for label in sorted(by_index.get(idx, ())):
+            yield f"  {label}:"
+        yield f"    {format_stmt(stmt)}"
+    for label in sorted(by_index.get(len(method.statements), ())):
+        yield f"  {label}:"
+    for trap in method.traps:
+        yield (
+            f"    trap {trap.exc_type} from {trap.begin} to {trap.end} "
+            f"using {trap.handler}"
+        )
+    yield "}"
+
+
+def class_lines(cls: IRClass) -> Iterator[str]:
+    header = f"class {cls.name}"
+    if cls.is_interface:
+        header = f"interface {cls.name}"
+    if cls.superclass and cls.superclass != "java.lang.Object":
+        header += f" extends {cls.superclass}"
+    if cls.interfaces:
+        header += " implements " + ", ".join(cls.interfaces)
+    yield header + " {"
+    for field_sig in cls.fields.values():
+        yield f"  field {field_sig.type_name} {field_sig.name}"
+    for method in cls.methods():
+        for line in method_lines(method):
+            yield "  " + line
+    yield "}"
+
+
+def print_class(cls: IRClass) -> str:
+    return "\n".join(class_lines(cls)) + "\n"
+
+
+def print_method(method: IRMethod) -> str:
+    return "\n".join(method_lines(method)) + "\n"

@@ -1,0 +1,74 @@
+"""In-place IR method transformation: statement insertion with label and
+trap maintenance.
+
+Branch targets and trap ranges are expressed through labels, so inserting
+statements only requires shifting the label map: every label at or beyond
+the insertion point moves down by the inserted length.  Consequences of
+that convention (which are exactly what the patcher wants):
+
+* code inserted at a *label* position executes on the fall-through path
+  but is **skipped by branches** to that label — a guard inserted at a
+  loop header runs once, not per iteration;
+* code inserted inside a trap's protected range stays protected; code
+  inserted at the range's begin label lands *outside* it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .method import IRMethod
+from .statements import Stmt
+
+
+def insert_statements(
+    method: IRMethod,
+    index: int,
+    statements: Sequence[Stmt],
+    new_labels: Optional[dict[str, int]] = None,
+    retarget_labels_at_index: bool = False,
+) -> None:
+    """Insert ``statements`` before statement ``index`` (in place).
+
+    ``new_labels`` maps fresh label names to positions *relative to the
+    insertion point* (``0`` = first inserted statement; ``len(statements)``
+    = the original statement at ``index``).  Fresh label names must not
+    collide with existing ones.
+
+    Labels bound exactly at ``index`` shift past the inserted block by
+    default, so branches to them *skip* the insertion (right for guards:
+    a loop back-edge must not re-run them).  With
+    ``retarget_labels_at_index=True`` those labels stay put and branches
+    land *on* the inserted block (right for configuration that must
+    execute on every path reaching the original statement).
+    """
+    if not 0 <= index <= len(method.statements):
+        raise IndexError(
+            f"insertion index {index} out of range "
+            f"(body has {len(method.statements)} statements)"
+        )
+    shift = len(statements)
+    if shift == 0:
+        return
+    for name in new_labels or ():
+        if name in method.labels:
+            raise ValueError(f"label {name!r} already exists")
+    method.statements[index:index] = list(statements)
+    for name, position in method.labels.items():
+        threshold = index + 1 if retarget_labels_at_index else index
+        if position >= threshold:
+            method.labels[name] = position + shift
+    for name, relative in (new_labels or {}).items():
+        if not 0 <= relative <= shift:
+            raise ValueError(
+                f"relative label position {relative} outside inserted block"
+            )
+        method.labels[name] = index + relative
+
+
+def fresh_label(method: IRMethod, hint: str = "patch") -> str:
+    """A label name unused in ``method``."""
+    counter = 0
+    while f"{hint}{counter}" in method.labels:
+        counter += 1
+    return f"{hint}{counter}"

@@ -1,0 +1,117 @@
+"""Network library models: the annotated API knowledge NChecker runs on.
+
+``default_registry()`` assembles the six libraries studied in the paper
+(§3, Table 4) into a :class:`LibraryRegistry`; §4.3's counts — 14 target
+APIs, 77 config APIs, 2 response-checking APIs — hold for this registry
+and are asserted in the test suite.
+"""
+
+from .android import (
+    CONNECTIVITY_CHECK_APIS,
+    HANDLER_CLASSES,
+    HANDLER_NOTIFY_METHODS,
+    LOG_CLASSES,
+    UI_NOTIFICATION_CLASSES,
+    is_connectivity_check,
+    is_handler_notification,
+    is_logging,
+    is_ui_notification,
+)
+from .annotations import (
+    CallbackRole,
+    CallbackSpec,
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    LibraryRegistry,
+    ResponseCheckAPI,
+    TargetAPI,
+)
+from .apache import APACHE_HTTPCLIENT
+from .asmack import ASMACK, LONG_LIVED_CONNECTION_CLASSES, is_connectivity_monitor
+from .asynchttp import ASYNC_HTTP
+from .basichttp import BASIC_HTTP
+from .capabilities import (
+    CAPABILITY_MATRIX,
+    LIBRARY_COLUMNS,
+    NPD_CAUSE_ROWS,
+    Tolerance,
+    render_table4,
+    tolerance,
+    tolerates_automatically,
+)
+from .httpurlconnection import HTTPURLCONNECTION
+from .okhttp import OKHTTP
+from .volley import VOLLEY, VOLLEY_ERROR_TYPES, VOLLEY_METHOD_CODES, VOLLEY_REQUEST_CLASSES
+
+ALL_LIBRARIES = (
+    HTTPURLCONNECTION,
+    APACHE_HTTPCLIENT,
+    VOLLEY,
+    OKHTTP,
+    ASYNC_HTTP,
+    BASIC_HTTP,
+)
+
+#: The two Android-native stacks (Table 7 groups them as "Native").
+NATIVE_LIBRARY_KEYS = frozenset({"httpurlconnection", "apache"})
+
+
+def default_registry() -> LibraryRegistry:
+    """The registry of all six studied libraries."""
+    return LibraryRegistry(ALL_LIBRARIES)
+
+
+def extended_registry() -> LibraryRegistry:
+    """The studied libraries plus the aSmack XMPP model (enables the
+    experimental network-switch analysis; changes the §4.3 annotation
+    counts, so it is opt-in)."""
+    return LibraryRegistry((*ALL_LIBRARIES, ASMACK))
+
+
+__all__ = [
+    "ALL_LIBRARIES",
+    "APACHE_HTTPCLIENT",
+    "ASMACK",
+    "LONG_LIVED_CONNECTION_CLASSES",
+    "ASYNC_HTTP",
+    "BASIC_HTTP",
+    "CAPABILITY_MATRIX",
+    "CONNECTIVITY_CHECK_APIS",
+    "CallbackRole",
+    "CallbackSpec",
+    "ConfigAPI",
+    "ConfigKind",
+    "HANDLER_CLASSES",
+    "HANDLER_NOTIFY_METHODS",
+    "HTTPURLCONNECTION",
+    "HttpMethod",
+    "LIBRARY_COLUMNS",
+    "LOG_CLASSES",
+    "LibraryDefaults",
+    "LibraryModel",
+    "LibraryRegistry",
+    "NATIVE_LIBRARY_KEYS",
+    "NPD_CAUSE_ROWS",
+    "OKHTTP",
+    "ResponseCheckAPI",
+    "TargetAPI",
+    "Tolerance",
+    "UI_NOTIFICATION_CLASSES",
+    "VOLLEY",
+    "VOLLEY_ERROR_TYPES",
+    "VOLLEY_METHOD_CODES",
+    "VOLLEY_REQUEST_CLASSES",
+    "default_registry",
+    "extended_registry",
+    "is_connectivity_monitor",
+    "is_connectivity_check",
+    "is_handler_notification",
+    "is_logging",
+    "is_ui_notification",
+    "render_table4",
+    "tolerance",
+    "tolerates_automatically",
+]

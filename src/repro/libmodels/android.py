@@ -1,0 +1,88 @@
+"""Android framework APIs NChecker matches outside the HTTP libraries:
+connectivity checks, UI notification surfaces, and logging.
+
+Paper references: §4.4.1 (connectivity APIs guarding requests), §4.4.3
+(the five UI classes used to show alert messages, plus ``Handler`` for
+background→UI communication), and Table 5's examples
+(``getNetworkInfo``/``getActiveNetworkInfo``, ``Toast.show``).
+"""
+
+from __future__ import annotations
+
+from ..ir.values import InvokeExpr
+
+#: (class, method) pairs whose invocation constitutes a connectivity check.
+CONNECTIVITY_CHECK_APIS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("android.net.ConnectivityManager", "getActiveNetworkInfo"),
+        ("android.net.ConnectivityManager", "getNetworkInfo"),
+        ("android.net.ConnectivityManager", "getAllNetworkInfo"),
+        ("android.net.NetworkInfo", "isConnected"),
+        ("android.net.NetworkInfo", "isConnectedOrConnecting"),
+        ("android.net.NetworkInfo", "isAvailable"),
+        ("android.net.wifi.WifiManager", "isWifiEnabled"),
+    }
+)
+
+_CONNECTIVITY_METHOD_NAMES = frozenset(m for _, m in CONNECTIVITY_CHECK_APIS)
+
+#: The five classes Android apps predominantly use to surface messages
+#: (paper §4.4.3), plus dialog-ish builders.
+UI_NOTIFICATION_CLASSES: frozenset[str] = frozenset(
+    {
+        "android.app.AlertDialog",
+        "android.app.AlertDialog$Builder",
+        "android.app.DialogFragment",
+        "android.widget.Toast",
+        "android.widget.TextView",
+        "android.widget.ImageView",
+        "android.app.ProgressDialog",
+        "android.support.design.widget.Snackbar",
+    }
+)
+
+#: Handler lets a background thread hand UI actions to the UI thread; a
+#: message sent through it *may* notify the user (the implicit-callback
+#: path the paper finds developers use far less often).
+HANDLER_CLASSES: frozenset[str] = frozenset({"android.os.Handler"})
+HANDLER_NOTIFY_METHODS: frozenset[str] = frozenset(
+    {"sendMessage", "sendEmptyMessage", "obtainMessage", "post", "postDelayed"}
+)
+
+#: Logging is NOT user notification (a Log.d of the failure leaves the
+#: user staring at a silent screen — Table 2(iii)).
+LOG_CLASSES: frozenset[str] = frozenset({"android.util.Log"})
+
+
+def is_connectivity_check(invoke: InvokeExpr) -> bool:
+    """Whether a call site performs a network-connectivity check."""
+    key = (invoke.sig.class_name, invoke.sig.name)
+    if key in CONNECTIVITY_CHECK_APIS:
+        return True
+    # Unqualified call sites ("?") match by method name; the connectivity
+    # method names are distinctive enough that this mirrors the paper's
+    # annotation matching after devirtualisation.
+    return (
+        invoke.sig.class_name == "?" and invoke.sig.name in _CONNECTIVITY_METHOD_NAMES
+    )
+
+
+def is_ui_notification(invoke: InvokeExpr) -> bool:
+    """Whether a call site touches one of the UI notification classes."""
+    cls = invoke.sig.class_name
+    if cls in UI_NOTIFICATION_CLASSES:
+        return True
+    # Static factory idiom: Toast.makeText(...).show() — the makeText is
+    # matched above; a bare `.show()` on an unknown receiver is not enough.
+    return False
+
+
+def is_handler_notification(invoke: InvokeExpr) -> bool:
+    return (
+        invoke.sig.class_name in HANDLER_CLASSES
+        and invoke.sig.name in HANDLER_NOTIFY_METHODS
+    )
+
+
+def is_logging(invoke: InvokeExpr) -> bool:
+    return invoke.sig.class_name in LOG_CLASSES

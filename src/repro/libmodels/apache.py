@@ -1,0 +1,54 @@
+"""Model of the Apache ``HttpClient`` (the second Android-native stack).
+
+Blocking API.  Retry behaviour is pluggable via
+``setHttpRequestRetryHandler`` (the ``DefaultHttpRequestRetryHandler``
+retries 3 times, POST included, when installed); timeouts are set through
+``HttpConnectionParams``.
+"""
+
+from __future__ import annotations
+
+from .annotations import (
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    TargetAPI,
+)
+
+_CLIENT = "org.apache.http.impl.client.DefaultHttpClient"
+_CONN_PARAMS = "org.apache.http.params.HttpConnectionParams"
+_CLIENT_PARAMS = "org.apache.http.client.params.HttpClientParams"
+_PROTO_PARAMS = "org.apache.http.params.HttpProtocolParams"
+
+APACHE_HTTPCLIENT = LibraryModel(
+    key="apache",
+    name="Apache HttpClient",
+    client_classes=frozenset({_CLIENT}),
+    target_apis=(
+        TargetAPI(_CLIENT, "execute", HttpMethod.ANY, method_param_index=0),
+    ),
+    config_apis=(
+        ConfigAPI(_CONN_PARAMS, "setConnectionTimeout", ConfigKind.TIMEOUT, param_index=1),
+        ConfigAPI(_CONN_PARAMS, "setSoTimeout", ConfigKind.TIMEOUT, param_index=1),
+        ConfigAPI(_CONN_PARAMS, "setSocketBufferSize", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CONN_PARAMS, "setLinger", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CONN_PARAMS, "setStaleCheckingEnabled", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CONN_PARAMS, "setTcpNoDelay", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CLIENT_PARAMS, "setRedirecting", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CLIENT_PARAMS, "setAuthenticating", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CLIENT_PARAMS, "setConnectionManagerTimeout", ConfigKind.TIMEOUT, param_index=1),
+        ConfigAPI(_CLIENT, "setHttpRequestRetryHandler", ConfigKind.RETRY),
+        ConfigAPI(_CLIENT, "setRedirectHandler", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setParams", ConfigKind.OTHER),
+        ConfigAPI(_PROTO_PARAMS, "setUserAgent", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_PROTO_PARAMS, "setContentCharset", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_PROTO_PARAMS, "setUseExpectContinue", ConfigKind.OTHER, param_index=1),
+    ),
+    defaults=LibraryDefaults(
+        timeout_ms=None,
+        retries=3,  # DefaultHttpRequestRetryHandler
+        retries_apply_to_post=True,
+    ),
+)

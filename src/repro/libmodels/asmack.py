@@ -1,0 +1,89 @@
+"""Model of the aSmack XMPP library (the ChatSecure/Yaxim stack).
+
+The paper's motivating example (Fig 1) is ChatSecure's
+``XMPPConnection.connect()``/``login()`` pair, and its Cause 4 —
+mishandling network switches — concerns exactly this class of long-lived
+connection: when the device hops from WiFi to cellular, the old TCP
+connection is dead and the app must notice (a connectivity
+BroadcastReceiver) and re-establish it, or enable Smack's reconnection
+manager.
+
+NChecker proper did not check Cause 4 ("there is no library APIs related
+to them" — §4.2); this model plus the experimental network-switch check
+is the repository's implementation of that future work.  It is therefore
+**not** part of :func:`repro.libmodels.default_registry` (whose 14/77/2
+annotation counts match the paper's §4.3); use
+:func:`repro.libmodels.extended_registry` to include it.
+"""
+
+from __future__ import annotations
+
+from .annotations import (
+    CallbackRole,
+    CallbackSpec,
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    TargetAPI,
+)
+
+_CONN = "org.jivesoftware.smack.XMPPConnection"
+_CONFIG = "org.jivesoftware.smack.ConnectionConfiguration"
+_LISTENER = "org.jivesoftware.smack.ConnectionListener"
+
+ASMACK = LibraryModel(
+    key="asmack",
+    name="aSmack (XMPP)",
+    client_classes=frozenset({_CONN, _CONFIG}),
+    target_apis=(
+        TargetAPI(_CONN, "connect", HttpMethod.ANY),
+        TargetAPI(_CONN, "login", HttpMethod.ANY),
+        TargetAPI(_CONN, "sendPacket", HttpMethod.ANY),
+    ),
+    config_apis=(
+        ConfigAPI(_CONFIG, "setConnectTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(
+            "org.jivesoftware.smack.SmackConfiguration",
+            "setPacketReplyTimeout",
+            ConfigKind.TIMEOUT,
+        ),
+        ConfigAPI(_CONFIG, "setReconnectionAllowed", ConfigKind.RETRY),
+        # Historically also exposed on the connection itself (via its
+        # configuration); both spellings occur in the studied apps.
+        ConfigAPI(_CONN, "setReconnectionAllowed", ConfigKind.RETRY),
+        ConfigAPI(_CONFIG, "setSecurityMode", ConfigKind.OTHER),
+        ConfigAPI(_CONFIG, "setCompressionEnabled", ConfigKind.OTHER),
+        ConfigAPI(_CONFIG, "setSendPresence", ConfigKind.OTHER),
+    ),
+    callbacks=(
+        CallbackSpec(_LISTENER, "connectionClosedOnError", CallbackRole.ERROR, 0),
+        CallbackSpec(_LISTENER, "reconnectionSuccessful", CallbackRole.SUCCESS),
+    ),
+    defaults=LibraryDefaults(
+        timeout_ms=None,  # blocking connect, TCP-level give-up
+        retries=0,  # no automatic reconnection unless enabled
+        retries_apply_to_post=False,
+    ),
+)
+
+#: The connection class the network-switch check treats as long-lived.
+LONG_LIVED_CONNECTION_CLASSES = frozenset({_CONN})
+
+#: APIs whose presence means the app watches connectivity transitions.
+CONNECTIVITY_MONITOR_APIS = frozenset(
+    {
+        ("android.content.Context", "registerReceiver"),
+        ("android.net.ConnectivityManager", "registerNetworkCallback"),
+        ("android.net.ConnectivityManager", "registerDefaultNetworkCallback"),
+    }
+)
+_MONITOR_METHOD_NAMES = frozenset(m for _c, m in CONNECTIVITY_MONITOR_APIS)
+
+
+def is_connectivity_monitor(invoke) -> bool:
+    key = (invoke.sig.class_name, invoke.sig.name)
+    if key in CONNECTIVITY_MONITOR_APIS:
+        return True
+    return invoke.sig.class_name == "?" and invoke.sig.name in _MONITOR_METHOD_NAMES

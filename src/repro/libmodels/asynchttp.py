@@ -1,0 +1,64 @@
+"""Model of the Android Asynchronous HTTP client (loopj).
+
+Fully asynchronous: ``get``/``post``/``put``/``delete`` take a response
+handler whose ``onSuccess``/``onFailure`` run on the UI thread.  By
+default it retries **5 times for every request type** (paper §4.2,
+Pattern 2: "Android Async HTTP library retries 5 times for all kinds of
+requests by default, causing energy waste"), which is the dominant source
+of the over-retry defaults in Table 8.  The exotic
+``allowRetryExceptionClass`` config API — never called by any evaluated
+app (§5.2.1) — is annotated here too.
+"""
+
+from __future__ import annotations
+
+from .annotations import (
+    CallbackRole,
+    CallbackSpec,
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    TargetAPI,
+)
+
+_CLIENT = "com.loopj.android.http.AsyncHttpClient"
+_HANDLER = "com.loopj.android.http.AsyncHttpResponseHandler"
+
+ASYNC_HTTP = LibraryModel(
+    key="asynchttp",
+    name="Android Async HTTP",
+    client_classes=frozenset({_CLIENT}),
+    target_apis=(
+        TargetAPI(_CLIENT, "get", HttpMethod.GET, is_async=True, callback_param_indices=(1, 2)),
+        TargetAPI(_CLIENT, "post", HttpMethod.POST, is_async=True, callback_param_indices=(1, 2)),
+        TargetAPI(_CLIENT, "put", HttpMethod.PUT, is_async=True, callback_param_indices=(1, 2)),
+        TargetAPI(_CLIENT, "delete", HttpMethod.DELETE, is_async=True, callback_param_indices=(1, 2)),
+    ),
+    config_apis=(
+        ConfigAPI(_CLIENT, "setTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setConnectTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setResponseTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setMaxRetriesAndTimeout", ConfigKind.RETRY, param_index=0),
+        ConfigAPI(_CLIENT, "allowRetryExceptionClass", ConfigKind.RETRY_EXCEPTION),
+        ConfigAPI(_CLIENT, "blockRetryExceptionClass", ConfigKind.RETRY_EXCEPTION),
+        ConfigAPI(_CLIENT, "setMaxConnections", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setUserAgent", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setEnableRedirects", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setAuthenticationPreemptive", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "addHeader", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CLIENT, "setCookieStore", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setThreadPool", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setURLEncodingEnabled", ConfigKind.OTHER),
+    ),
+    callbacks=(
+        CallbackSpec(_HANDLER, "onFailure", CallbackRole.ERROR, 3),
+        CallbackSpec(_HANDLER, "onSuccess", CallbackRole.SUCCESS),
+    ),
+    defaults=LibraryDefaults(
+        timeout_ms=10_000,
+        retries=5,
+        retries_apply_to_post=True,
+    ),
+)

@@ -1,0 +1,62 @@
+"""Model of the Basic HTTP client (turbomanage ``android-http``).
+
+The library of the paper's running example (Fig 5): a thin blocking
+client with ``get``/``post``/``put``/``delete`` target APIs and explicit
+``setMaxRetries``/timeout config.  Per Table 4 it auto-retries transient
+errors (⋆) and applies a default read/write timeout, but leaves
+connectivity checks, notifications and response checks to the app.
+"""
+
+from __future__ import annotations
+
+from .annotations import (
+    CallbackRole,
+    CallbackSpec,
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    ResponseCheckAPI,
+    TargetAPI,
+)
+
+_CLIENT = "com.turbomanage.httpclient.BasicHttpClient"
+_RESPONSE = "com.turbomanage.httpclient.HttpResponse"
+_ASYNC_CB = "com.turbomanage.httpclient.AsyncCallback"
+
+BASIC_HTTP = LibraryModel(
+    key="basichttp",
+    name="Basic Http Client",
+    client_classes=frozenset({_CLIENT}),
+    target_apis=(
+        TargetAPI(_CLIENT, "get", HttpMethod.GET),
+        TargetAPI(_CLIENT, "post", HttpMethod.POST),
+        TargetAPI(_CLIENT, "put", HttpMethod.PUT),
+        TargetAPI(_CLIENT, "delete", HttpMethod.DELETE),
+    ),
+    config_apis=(
+        ConfigAPI(_CLIENT, "setConnectionTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setReadWriteTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setMaxRetries", ConfigKind.RETRY),
+        ConfigAPI(_CLIENT, "addHeader", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CLIENT, "setBaseUrl", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setRequestLogger", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setRequestHandler", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setAsync", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setErrorHandler", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setCookieStore", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setUserAgent", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setFollowRedirects", ConfigKind.OTHER),
+    ),
+    response_check_apis=(ResponseCheckAPI(_RESPONSE, "getStatus"),),
+    callbacks=(
+        CallbackSpec(_ASYNC_CB, "onError", CallbackRole.ERROR, 0),
+        CallbackSpec(_ASYNC_CB, "onComplete", CallbackRole.SUCCESS, response_param_index=0),
+    ),
+    defaults=LibraryDefaults(
+        timeout_ms=2_000,
+        retries=1,
+        retries_apply_to_post=True,
+    ),
+)

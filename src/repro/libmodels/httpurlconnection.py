@@ -1,0 +1,52 @@
+"""Model of the Android-native ``HttpURLConnection`` client.
+
+Blocking API: requests run where they are called (typically inside an
+``AsyncTask.doInBackground``).  There is no retry API; since Android 4.4
+the implementation sits on OkHttp and transparently retries alternate
+addresses on connection failure, which is why Table 4 marks it ⋆ for
+transient-error retry.  There is no default timeout — a dead connection
+blocks until TCP gives up (paper Cause 3.1).
+"""
+
+from __future__ import annotations
+
+from .annotations import (
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    TargetAPI,
+)
+
+_CLS = "java.net.HttpURLConnection"
+_URL = "java.net.URL"
+
+HTTPURLCONNECTION = LibraryModel(
+    key="httpurlconnection",
+    name="HttpURLConnection",
+    client_classes=frozenset({_CLS, _URL}),
+    target_apis=(
+        TargetAPI(_CLS, "connect", HttpMethod.ANY),
+        TargetAPI(_CLS, "getInputStream", HttpMethod.ANY),
+    ),
+    config_apis=(
+        ConfigAPI(_CLS, "setConnectTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLS, "setReadTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLS, "setRequestMethod", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setDoOutput", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setDoInput", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setUseCaches", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setRequestProperty", ConfigKind.OTHER, param_index=1),
+        ConfigAPI(_CLS, "setInstanceFollowRedirects", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setChunkedStreamingMode", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setFixedLengthStreamingMode", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setIfModifiedSince", ConfigKind.OTHER),
+        ConfigAPI(_CLS, "setAllowUserInteraction", ConfigKind.OTHER),
+    ),
+    defaults=LibraryDefaults(
+        timeout_ms=None,  # blocking connect: minutes until TCP timeout
+        retries=1,  # alternate-address retry on connect failure (KK+)
+        retries_apply_to_post=False,
+    ),
+)

@@ -1,0 +1,64 @@
+"""Model of Square's OkHttp library.
+
+Supports blocking (``Call.execute``) and async (``Call.enqueue``) use.
+No default request timeout (paper §3: "OkHttp does not set request
+timeouts by default, but it provides setTimeout()..."); connection
+failures are retried automatically (``retryOnConnectionFailure`` defaults
+to true).  Responses must be validity-checked by the caller via
+``Response.isSuccessful`` — one of the two annotated response-check APIs.
+"""
+
+from __future__ import annotations
+
+from .annotations import (
+    CallbackRole,
+    CallbackSpec,
+    ConfigAPI,
+    ConfigKind,
+    HttpMethod,
+    LibraryDefaults,
+    LibraryModel,
+    ResponseCheckAPI,
+    TargetAPI,
+)
+
+_CLIENT = "com.squareup.okhttp.OkHttpClient"
+_CALL = "com.squareup.okhttp.Call"
+_RESPONSE = "com.squareup.okhttp.Response"
+_CALLBACK = "com.squareup.okhttp.Callback"
+
+OKHTTP = LibraryModel(
+    key="okhttp",
+    name="OkHttp Library",
+    client_classes=frozenset({_CLIENT, _CALL}),
+    target_apis=(
+        TargetAPI(_CALL, "execute", HttpMethod.ANY),
+        TargetAPI(_CALL, "enqueue", HttpMethod.ANY, is_async=True, callback_param_indices=(0,)),
+    ),
+    config_apis=(
+        ConfigAPI(_CLIENT, "setConnectTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setReadTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setWriteTimeout", ConfigKind.TIMEOUT),
+        ConfigAPI(_CLIENT, "setRetryOnConnectionFailure", ConfigKind.RETRY),
+        ConfigAPI(_CLIENT, "setFollowRedirects", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setFollowSslRedirects", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setCache", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setConnectionPool", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setProtocols", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setProxy", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setSocketFactory", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setAuthenticator", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setDispatcher", ConfigKind.OTHER),
+        ConfigAPI(_CLIENT, "setInterceptors", ConfigKind.OTHER),
+    ),
+    response_check_apis=(ResponseCheckAPI(_RESPONSE, "isSuccessful"),),
+    callbacks=(
+        CallbackSpec(_CALLBACK, "onFailure", CallbackRole.ERROR, 1),
+        CallbackSpec(_CALLBACK, "onResponse", CallbackRole.SUCCESS, response_param_index=0),
+    ),
+    defaults=LibraryDefaults(
+        timeout_ms=None,
+        retries=1,  # retryOnConnectionFailure=true
+        retries_apply_to_post=False,
+    ),
+)

@@ -1,0 +1,80 @@
+"""Canned mobility/disruption scenarios as link schedules.
+
+The paper's §1 motivation is exactly these situations: "fluctuation of
+wireless signals and switches between network domains or even different
+network types".  Each scenario is a named :class:`LinkSchedule` usable
+with :class:`~repro.netsim.runtime.Runtime` and the `nchecker run` CLI.
+"""
+
+from __future__ import annotations
+
+from .link import (
+    EDGE,
+    LTE,
+    LinkProfile,
+    LinkSchedule,
+    OFFLINE,
+    THREE_G,
+    WIFI,
+)
+
+#: Degraded-but-connected 3G (heavy loss; guards pass, requests suffer).
+POOR_3G = LinkProfile("poor-3G", bandwidth_kbps=780, rtt_ms=100, loss_rate=0.6)
+
+#: Leaving home: WiFi drops, LTE picks up after a dead gap.
+COMMUTE_START = LinkSchedule(
+    (
+        (0.0, WIFI),
+        (10_000.0, OFFLINE),
+        (13_000.0, LTE),
+    )
+)
+
+#: Subway ride: alternating short cellular windows and dead tunnels.
+SUBWAY = LinkSchedule(
+    (
+        (0.0, THREE_G),
+        (20_000.0, OFFLINE),
+        (50_000.0, THREE_G.with_loss(0.2)),
+        (70_000.0, OFFLINE),
+        (100_000.0, THREE_G),
+    )
+)
+
+#: Crowded café: nominally connected WiFi that drops most packets.
+FLAKY_CAFE = LinkSchedule.constant(
+    LinkProfile("flaky-wifi", bandwidth_kbps=40_000, rtt_ms=5, loss_rate=0.45)
+)
+
+#: Rural drive: LTE degrading through 3G and EDGE to nothing.
+RURAL_FADE = LinkSchedule(
+    (
+        (0.0, LTE),
+        (30_000.0, THREE_G),
+        (60_000.0, EDGE),
+        (90_000.0, OFFLINE),
+    )
+)
+
+#: Airplane mode toggled mid-session.
+AIRPLANE_TOGGLE = LinkSchedule(
+    (
+        (0.0, WIFI),
+        (5_000.0, OFFLINE),
+        (60_000.0, WIFI),
+    )
+)
+
+SCENARIOS: dict[str, LinkSchedule] = {
+    "wifi": LinkSchedule.constant(WIFI),
+    "3g": LinkSchedule.constant(THREE_G),
+    "lte": LinkSchedule.constant(LTE),
+    "edge": LinkSchedule.constant(EDGE),
+    "offline": LinkSchedule.constant(OFFLINE),
+    "poor-3g": LinkSchedule.constant(POOR_3G),
+    "commute": COMMUTE_START,
+    "subway": SUBWAY,
+    "flaky-cafe": FLAKY_CAFE,
+    "rural-fade": RURAL_FADE,
+    "airplane-toggle": AIRPLANE_TOGGLE,
+}

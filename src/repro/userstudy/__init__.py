@@ -1,0 +1,19 @@
+"""User-study model (paper §5.4): Table 10 tasks and Fig 10 fix times."""
+
+from .model import (
+    N_PARTICIPANTS,
+    STUDY_TASKS,
+    StudyResult,
+    StudyTask,
+    TaskResult,
+    run_study,
+)
+
+__all__ = [
+    "N_PARTICIPANTS",
+    "STUDY_TASKS",
+    "StudyResult",
+    "StudyTask",
+    "TaskResult",
+    "run_study",
+]

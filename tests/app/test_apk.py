@@ -1,0 +1,68 @@
+"""APK container tests."""
+
+import pytest
+
+from repro.app import APK, ComponentKind, Manifest
+from repro.ir import ClassBuilder
+
+
+def _cls(name, superclass="java.lang.Object"):
+    cb = ClassBuilder(name, superclass)
+    b = cb.method("stub")
+    b.ret()
+    cb.add(b)
+    return cb.build()
+
+
+class TestAPK:
+    def test_component_kind_from_manifest(self):
+        manifest = Manifest("com.x", activities=["com.x.Main"])
+        apk = APK(manifest, [_cls("com.x.Main", "android.app.Activity")])
+        assert apk.component_kind_of("com.x.Main") is ComponentKind.ACTIVITY
+
+    def test_component_kind_from_hierarchy_fallback(self):
+        """Inner classes not declared in the manifest classify by base."""
+        manifest = Manifest("com.x")
+        apk = APK(manifest, [_cls("com.x.Helper", "android.app.Service")])
+        assert apk.component_kind_of("com.x.Helper") is ComponentKind.SERVICE
+
+    def test_framework_hierarchy_wired(self):
+        apk = APK(Manifest("com.x"), [_cls("com.x.Main", "android.app.Activity")])
+        assert apk.hierarchy.is_subtype("com.x.Main", "android.content.Context")
+
+    def test_validate_rejects_missing_manifest_class(self):
+        manifest = Manifest("com.x", activities=["com.x.Ghost"])
+        apk = APK(manifest, [])
+        with pytest.raises(ValueError, match="missing class"):
+            apk.validate()
+
+    def test_stats(self):
+        apk = APK(Manifest("com.x"), [_cls("com.x.A"), _cls("com.x.B")])
+        stats = apk.stats()
+        assert stats["classes"] == 2
+        assert stats["methods"] == 2
+        assert stats["statements"] >= 2
+
+    def test_duplicate_class_rejected(self):
+        apk = APK(Manifest("com.x"), [_cls("com.x.A")])
+        with pytest.raises(ValueError):
+            apk.add_class(_cls("com.x.A"))
+
+
+class TestHierarchyQueries:
+    def test_appcompat_activity_is_activity(self):
+        apk = APK(
+            Manifest("com.x"),
+            [_cls("com.x.Main", "android.support.v7.app.AppCompatActivity")],
+        )
+        assert apk.component_kind_of("com.x.Main") is ComponentKind.ACTIVITY
+
+    def test_intent_service_is_service(self):
+        apk = APK(
+            Manifest("com.x"), [_cls("com.x.Sync", "android.app.IntentService")]
+        )
+        assert apk.component_kind_of("com.x.Sync") is ComponentKind.SERVICE
+
+    def test_plain_class_has_no_kind(self):
+        apk = APK(Manifest("com.x"), [_cls("com.x.Util")])
+        assert apk.component_kind_of("com.x.Util") is None

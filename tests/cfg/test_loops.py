@@ -1,0 +1,86 @@
+"""Natural-loop detection tests."""
+
+from repro.cfg import CFG, loops_containing, natural_loops
+from repro.ir import Local, MethodBuilder
+
+
+def _while_method():
+    b = MethodBuilder("com.t.C", "m")
+    b.assign("go", True)
+    with b.while_loop("==", Local("go"), True):
+        b.assign("go", False)
+    b.ret()
+    return b.build()
+
+
+class TestNaturalLoops:
+    def test_straight_line_has_no_loops(self):
+        b = MethodBuilder("com.t.C", "m")
+        b.assign("x", 1)
+        b.ret()
+        assert natural_loops(CFG(b.build())) == []
+
+    def test_while_loop_found(self):
+        cfg = CFG(_while_method())
+        loops = natural_loops(cfg)
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header in loop.body
+        assert loop.exits  # the while-test exit edge
+
+    def test_loop_exits_leave_body(self):
+        cfg = CFG(_while_method())
+        loop = natural_loops(cfg)[0]
+        for src, dst in loop.exits:
+            assert src in loop.body and dst not in loop.body
+
+    def test_back_edge_target_is_header(self):
+        cfg = CFG(_while_method())
+        loop = natural_loops(cfg)[0]
+        for _src, dst in loop.back_edges:
+            assert dst == loop.header
+
+    def test_nested_loops(self):
+        b = MethodBuilder("com.t.C", "m")
+        b.assign("i", 0)
+        with b.while_loop("<", Local("i"), 3):
+            b.assign("j", 0)
+            with b.while_loop("<", Local("j"), 3):
+                b.assign("j", 1)
+            b.assign("i", 1)
+        b.ret()
+        cfg = CFG(b.build())
+        loops = natural_loops(cfg)
+        assert len(loops) == 2
+        inner, outer = sorted(loops, key=len)
+        assert inner.body < outer.body
+
+    def test_loops_containing_sorted_innermost_first(self):
+        b = MethodBuilder("com.t.C", "m")
+        b.assign("i", 0)
+        with b.while_loop("<", Local("i"), 3):
+            with b.while_loop("<", Local("j"), 3):
+                b.assign("mark", 1)
+            b.assign("i", 1)
+        b.ret()
+        method = b.build()
+        cfg = CFG(method)
+        loops = natural_loops(cfg)
+        mark = next(
+            i for i, s in enumerate(method.statements)
+            if "mark" in [d.name for d in s.defs()]
+        )
+        containing = loops_containing(loops, mark)
+        assert len(containing) == 2
+        assert len(containing[0]) < len(containing[1])
+
+    def test_infinite_loop_with_return_exit(self):
+        b = MethodBuilder("com.t.C", "m")
+        with b.loop():
+            b.assign("x", 1)
+            with b.if_then("==", Local("x"), 1):
+                b.ret()
+        b.ret()
+        cfg = CFG(b.build())
+        loops = natural_loops(cfg)
+        assert len(loops) == 1

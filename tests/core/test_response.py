@@ -1,0 +1,208 @@
+"""Invalid-response analysis tests (paper §4.4.4)."""
+
+import pytest
+
+from repro.core import DefectKind, NChecker
+from repro.corpus.snippets import RequestSpec
+
+from tests.conftest import single_request_app
+
+
+def _scan(spec, **kw):
+    apk, record = single_request_app(spec, **kw)
+    return NChecker().scan(apk), record
+
+
+class TestBlockingResponse:
+    @pytest.mark.parametrize("library", ["basichttp", "okhttp"])
+    def test_unchecked_use_flagged(self, library):
+        result, _ = _scan(RequestSpec(library=library))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 1
+
+    @pytest.mark.parametrize("library", ["basichttp", "okhttp"])
+    def test_checked_use_clean(self, library):
+        result, _ = _scan(RequestSpec(library=library, with_response_check=True))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+    def test_volley_auto_check_exempt(self):
+        """Volley routes invalid responses to the error callback (Table 4 ⋆)."""
+        result, _ = _scan(RequestSpec(library="volley"))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+    def test_libraries_without_check_apis_exempt(self):
+        result, _ = _scan(RequestSpec(library="apache"))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+
+class TestPathSensitivity:
+    def _app(self, build_use):
+        from repro.corpus.appbuilder import AppBuilder
+        from repro.ir import Local
+
+        app = AppBuilder("com.test.resp")
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        client = body.new("com.turbomanage.httpclient.BasicHttpClient", "c")
+        response = body.call(
+            client, "get", "http://x", ret="r",
+            return_type="com.turbomanage.httpclient.HttpResponse",
+        )
+        build_use(body, response)
+        body.ret()
+        activity.add(body)
+        return app.build()
+
+    def test_null_check_guards_use(self):
+        def use(body, response):
+            with body.if_then("!=", response, None):
+                body.call(response, "getBodyAsString", ret="data",
+                          cls="com.turbomanage.httpclient.HttpResponse")
+
+        result = NChecker().scan(self._app(use))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+    def test_unguarded_path_detected(self):
+        """A check on one path does not absolve a use reachable without it."""
+        from repro.ir import Local
+
+        def use(body, response):
+            body.assign("mode", 1)
+            with body.if_then("==", Local("mode"), 0):
+                with body.if_then("!=", response, None):
+                    body.nop()
+            # This use is NOT under the null check.
+            body.call(response, "getBodyAsString", ret="data",
+                      cls="com.turbomanage.httpclient.HttpResponse")
+
+        result = NChecker().scan(self._app(use))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 1
+
+    def test_derived_alias_checked(self):
+        """Copying the response keeps the taint and the obligation."""
+        from repro.ir import Local
+
+        def use(body, response):
+            body.assign("alias", response)
+            body.call(Local("alias"), "getBodyAsString", ret="data",
+                      cls="com.turbomanage.httpclient.HttpResponse")
+
+        result = NChecker().scan(self._app(use))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 1
+
+    def test_status_check_via_derived_value(self):
+        """`s = r.getStatus(); if s < 400 ...` validates the response."""
+        from repro.ir import Local
+
+        def use(body, response):
+            status = body.call(response, "getStatus", ret="s",
+                               cls="com.turbomanage.httpclient.HttpResponse",
+                               return_type="int")
+            with body.if_then("<", status, 400):
+                body.call(response, "getBodyAsString", ret="data",
+                          cls="com.turbomanage.httpclient.HttpResponse")
+
+        result = NChecker().scan(self._app(use))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+    def test_discarded_response_is_clean(self):
+        def use(body, response):
+            pass  # never touched
+
+        result = NChecker().scan(self._app(use))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+
+class TestEscapedResponse:
+    """One-hop interprocedural tracking: a helper returning the raw
+    response transfers the checking obligation to its caller."""
+
+    def _app(self, guard_in_caller):
+        from repro.corpus.appbuilder import AppBuilder
+        from repro.ir import Local
+
+        app = AppBuilder("com.test.escape")
+        activity = app.activity("MainActivity")
+        fetch = activity.method(
+            "fetchFeed", return_type="com.turbomanage.httpclient.HttpResponse"
+        )
+        client = fetch.new("com.turbomanage.httpclient.BasicHttpClient", "c")
+        response = fetch.call(
+            client, "get", "http://x", ret="r",
+            return_type="com.turbomanage.httpclient.HttpResponse",
+        )
+        fetch.ret(response)
+        activity.add(fetch)
+
+        click = activity.method("onClick", params=[("android.view.View", "v")])
+        resp = click.call(
+            Local("this"), "fetchFeed", ret="resp", cls=activity.name,
+            return_type="com.turbomanage.httpclient.HttpResponse",
+        )
+        if guard_in_caller:
+            with click.if_then("!=", resp, None):
+                click.call(resp, "getBodyAsString", ret="body",
+                           cls="com.turbomanage.httpclient.HttpResponse")
+        else:
+            click.call(resp, "getBodyAsString", ret="body",
+                       cls="com.turbomanage.httpclient.HttpResponse")
+        click.ret()
+        activity.add(click)
+        return app.build()
+
+    def test_unchecked_caller_use_flagged_at_caller(self):
+        result = NChecker().scan(self._app(guard_in_caller=False))
+        findings = result.findings_of(DefectKind.MISSED_RESPONSE_CHECK)
+        assert len(findings) == 1
+        assert findings[0].method_key[1] == "onClick"
+
+    def test_caller_side_guard_suffices(self):
+        result = NChecker().scan(self._app(guard_in_caller=True))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+
+
+class TestAsyncResponse:
+    def _okhttp_enqueue_app(self, with_check):
+        from repro.corpus.appbuilder import AppBuilder
+        from repro.ir import Local
+
+        app = AppBuilder("com.test.enq")
+        callback = app.new_class("Cb", interfaces=["com.squareup.okhttp.Callback"])
+        ok = callback.method(
+            "onResponse", params=[("com.squareup.okhttp.Response", "response")]
+        )
+        if with_check:
+            good = ok.call(Local("response"), "isSuccessful", ret="good",
+                           cls="com.squareup.okhttp.Response", return_type="boolean")
+            with ok.if_then("==", good, True):
+                ok.call(Local("response"), "body", ret="b",
+                        cls="com.squareup.okhttp.Response")
+        else:
+            ok.call(Local("response"), "body", ret="b",
+                    cls="com.squareup.okhttp.Response")
+        ok.ret()
+        callback.add(ok)
+        fail = callback.method(
+            "onFailure",
+            params=[("com.squareup.okhttp.Request", "req"), ("java.io.IOException", "e")],
+        )
+        fail.ret()
+        callback.add(fail)
+
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        client = body.new("com.squareup.okhttp.OkHttpClient", "client")
+        call = body.call(client, "newCall", "http://x", ret="call",
+                         return_type="com.squareup.okhttp.Call")
+        cb = body.new(f"{app.package}.Cb", "cb")
+        body.call(call, "enqueue", cb, cls="com.squareup.okhttp.Call")
+        body.ret()
+        activity.add(body)
+        return app.build()
+
+    def test_unchecked_async_response_flagged(self):
+        result = NChecker().scan(self._okhttp_enqueue_app(with_check=False))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 1
+
+    def test_checked_async_response_clean(self):
+        result = NChecker().scan(self._okhttp_enqueue_app(with_check=True))
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0

@@ -1,0 +1,48 @@
+"""Calibration stability: the corpus rates must be properties of the
+profile, not artifacts of one lucky seed."""
+
+import pytest
+
+from repro.core import NChecker
+from repro.corpus import CorpusGenerator, PAPER_PROFILE
+from repro.corpus.profiles import CorpusProfile
+from repro.eval.metrics import table6
+
+
+def _rates(seed: int, n_apps: int = 120) -> dict[str, int]:
+    profile = CorpusProfile(
+        mix=PAPER_PROFILE.scaled(n_apps).mix, rates=PAPER_PROFILE.rates, seed=seed
+    )
+    checker = NChecker()
+    results = [
+        checker.scan(apk) for apk, _ in CorpusGenerator(profile).iter_apps()
+    ]
+    return {row.cause: row.percent for row in table6(results)}
+
+
+@pytest.fixture(scope="module")
+def seeded_rates():
+    return [_rates(seed) for seed in (1, 2, 3)]
+
+
+class TestSeedStability:
+    """Paper targets, with generous bands (n=120 per seed)."""
+
+    @pytest.mark.parametrize(
+        "cause,paper,tolerance",
+        [
+            ("Missed conn. checks", 43, 12),
+            ("Missed timeout APIs", 49, 12),
+            ("Missed retry APIs", 70, 12),
+            ("Over retries", 55, 14),
+            ("Missed failure notifications", 57, 12),
+        ],
+    )
+    def test_rate_within_band_for_every_seed(self, seeded_rates, cause, paper, tolerance):
+        for rates in seeded_rates:
+            assert abs(rates[cause] - paper) <= tolerance, (cause, rates[cause])
+
+    def test_rates_vary_but_not_wildly(self, seeded_rates):
+        """Different seeds give different (but close) corpora."""
+        conn = [r["Missed conn. checks"] for r in seeded_rates]
+        assert max(conn) - min(conn) <= 20

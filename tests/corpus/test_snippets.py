@@ -1,0 +1,119 @@
+"""Snippet emitter tests: the checker must agree with the semantic ground
+truth on every spec combination (modulo the documented FN/FP shapes)."""
+
+import pytest
+
+from repro.core import DefectKind, NChecker
+from repro.corpus.snippets import (
+    Backoff,
+    Connectivity,
+    Notification,
+    RequestSpec,
+    RetryLoopShape,
+    SUPPORTED_LIBRARIES,
+    expected_defects,
+)
+
+from tests.conftest import single_request_app
+
+
+def _agree(spec, in_service=False):
+    apk, record = single_request_app(spec, in_service=in_service)
+    result = NChecker().scan(apk)
+    return {f.kind for f in result.findings}, record.expected
+
+
+class TestCheckerMatchesGroundTruth:
+    @pytest.mark.parametrize("library", SUPPORTED_LIBRARIES)
+    def test_all_defects_spec(self, library):
+        got, expected = _agree(RequestSpec(library=library))
+        assert got == expected
+
+    @pytest.mark.parametrize("library", SUPPORTED_LIBRARIES)
+    def test_clean_spec(self, library):
+        got, expected = _agree(
+            RequestSpec(
+                library=library,
+                connectivity=Connectivity.GUARDED,
+                with_timeout=True,
+                with_retry=True,
+                retry_value=2,
+                with_notification=Notification.TOAST,
+                with_response_check=True,
+                uses_error_types=True,
+            )
+        )
+        assert got == expected == set()
+
+    @pytest.mark.parametrize("library", SUPPORTED_LIBRARIES)
+    def test_service_placement(self, library):
+        got, expected = _agree(RequestSpec(library=library), in_service=True)
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "shape", [s for s in RetryLoopShape if s is not RetryLoopShape.NONE]
+    )
+    @pytest.mark.parametrize("backoff", list(Backoff))
+    def test_retry_loop_matrix(self, shape, backoff):
+        got, expected = _agree(
+            RequestSpec(library="basichttp", retry_loop=shape, backoff=backoff)
+        )
+        assert got == expected
+
+    @pytest.mark.parametrize("library", ["volley", "asynchttp", "basichttp"])
+    def test_post_requests(self, library):
+        got, expected = _agree(RequestSpec(library=library, http_post=True))
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "notification", [Notification.TOAST, Notification.HANDLER, Notification.LOG]
+    )
+    def test_notification_variants(self, notification):
+        got, expected = _agree(RequestSpec(with_notification=notification))
+        assert got == expected
+
+    def test_helper_connectivity(self):
+        got, expected = _agree(RequestSpec(connectivity=Connectivity.HELPER))
+        assert got == expected
+
+
+class TestDocumentedDivergences:
+    """The paper's FN/FP shapes are exactly where tool and truth differ."""
+
+    def test_unguarded_check_diverges_as_fn(self):
+        got, expected = _agree(RequestSpec(connectivity=Connectivity.UNGUARDED))
+        assert DefectKind.MISSED_CONNECTIVITY_CHECK in expected
+        assert DefectKind.MISSED_CONNECTIVITY_CHECK not in got
+        assert got | {DefectKind.MISSED_CONNECTIVITY_CHECK} == expected
+
+    def test_broadcast_notification_diverges_as_fp(self):
+        got, expected = _agree(
+            RequestSpec(with_notification=Notification.BROADCAST)
+        )
+        assert DefectKind.MISSED_NOTIFICATION in got
+        assert DefectKind.MISSED_NOTIFICATION not in expected
+
+
+class TestExpectedDefectsFunction:
+    def test_httpurl_has_no_retry_rows(self):
+        defects = expected_defects(
+            RequestSpec(library="httpurlconnection"), True, False
+        )
+        assert DefectKind.MISSED_RETRY not in defects
+        assert DefectKind.NO_RETRY_TIME_SENSITIVE not in defects
+
+    def test_background_skips_notification(self):
+        defects = expected_defects(RequestSpec(), False, True)
+        assert DefectKind.MISSED_NOTIFICATION not in defects
+
+    def test_volley_error_types_only_for_user(self):
+        user = expected_defects(RequestSpec(library="volley"), True, False)
+        background = expected_defects(RequestSpec(library="volley"), False, True)
+        assert DefectKind.MISSED_ERROR_TYPE_CHECK in user
+        assert DefectKind.MISSED_ERROR_TYPE_CHECK not in background
+
+    def test_loop_spec_has_no_response_row(self):
+        defects = expected_defects(
+            RequestSpec(retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT), True, False
+        )
+        assert DefectKind.MISSED_RESPONSE_CHECK not in defects

@@ -1,0 +1,77 @@
+"""Empirical-study dataset tests (Tables 1-3, Fig 4)."""
+
+from repro.core.defects import Impact, RootCause
+from repro.corpus.study import (
+    IMPACT_CASES,
+    REPRESENTATIVE_NPDS,
+    ROOT_CAUSE_CASES,
+    STUDIED_APPS,
+    TOTAL_STUDIED_NPDS,
+    PERMANENT_SUBCAUSES,
+    SWITCH_SUBCAUSES,
+    TRANSIENT_SUBCAUSES,
+    impact_distribution_percent,
+    root_cause_distribution_percent,
+)
+
+
+class TestTable1:
+    def test_twenty_one_apps(self):
+        assert len(STUDIED_APPS) == 21
+
+    def test_unique_names(self):
+        names = [a.name for a in STUDIED_APPS]
+        assert len(set(names)) == 21
+
+    def test_known_entries(self):
+        names = {a.name for a in STUDIED_APPS}
+        assert {"Chrome", "Telegram", "ChatSecure", "Kontalk"} <= names
+
+
+class TestTable2:
+    def test_six_representative_cases(self):
+        assert len(REPRESENTATIVE_NPDS) == 6
+
+    def test_all_impact_categories_covered(self):
+        impacts = {n.impact for n in REPRESENTATIVE_NPDS}
+        assert impacts == set(Impact)
+
+
+class TestFig4:
+    def test_cases_sum_to_ninety(self):
+        assert sum(IMPACT_CASES.values()) == TOTAL_STUDIED_NPDS
+
+    def test_percentages_match_paper(self):
+        percent = impact_distribution_percent()
+        assert percent[Impact.DYSFUNCTION] == 36
+        assert percent[Impact.UNFRIENDLY_UI] == 33
+        assert percent[Impact.CRASH_FREEZE] == 21
+        assert percent[Impact.BATTERY_DRAIN] == 10
+
+    def test_ranking(self):
+        """Dysfunction > Unfriendly UI > Crash/Freeze > Battery drain."""
+        ordered = sorted(IMPACT_CASES, key=IMPACT_CASES.get, reverse=True)
+        assert ordered == [
+            Impact.DYSFUNCTION,
+            Impact.UNFRIENDLY_UI,
+            Impact.CRASH_FREEZE,
+            Impact.BATTERY_DRAIN,
+        ]
+
+
+class TestTable3:
+    def test_cases_sum_to_ninety(self):
+        assert sum(ROOT_CAUSE_CASES.values()) == TOTAL_STUDIED_NPDS
+
+    def test_percentages_match_paper(self):
+        percent = root_cause_distribution_percent()
+        assert percent[RootCause.NO_CONNECTIVITY_CHECK] == 30
+        assert percent[RootCause.MISHANDLED_TRANSIENT] == 13
+        assert percent[RootCause.MISHANDLED_PERMANENT] == 27
+        assert percent[RootCause.MISHANDLED_SWITCH] == 30
+
+    def test_subcause_splits(self):
+        assert TRANSIENT_SUBCAUSES["No retry for time-sensitive requests"] == 55
+        assert TRANSIENT_SUBCAUSES["Over-retry"] == 45
+        assert PERMANENT_SUBCAUSES["No timeout setting"] == 33
+        assert SWITCH_SUBCAUSES["No reconnection on network switch"] == 67

@@ -1,0 +1,157 @@
+"""Constant-propagation tests (the §4.4.2 parameter-recovery machinery)."""
+
+from repro.cfg import CFG
+from repro.dataflow import ConstantPropagation, TOP
+from repro.ir import BinaryExpr, Const, Local, MethodBuilder
+
+
+def _cfg(fn, params=()):
+    b = MethodBuilder("com.t.C", "m", params=list(params))
+    fn(b)
+    return CFG(b.build())
+
+
+class TestConstantPropagation:
+    def test_direct_constant(self):
+        cfg = _cfg(lambda b: (b.assign("x", 5), b.assign("y", Local("x")), b.ret()))
+        cp = ConstantPropagation(cfg)
+        assert cp.value_before(1, "x") == 5
+
+    def test_copy_chain(self):
+        def fn(b):
+            b.assign("a", 7)
+            b.assign("b", Local("a"))
+            b.assign("c", Local("b"))
+            b.ret()
+
+        cp = ConstantPropagation(_cfg(fn))
+        assert cp.value_before(2, "b") == 7
+
+    def test_arithmetic_folding(self):
+        def fn(b):
+            b.assign("a", 4)
+            b.assign("b", BinaryExpr("*", Local("a"), Const(3)))
+            b.assign("c", Local("b"))
+            b.ret()
+
+        cp = ConstantPropagation(_cfg(fn))
+        assert cp.value_before(2, "b") == 12
+
+    def test_conflicting_branches_are_top(self):
+        def fn(b):
+            b.assign("p", 0)
+            with b.if_else("==", Local("p"), 0) as orelse:
+                b.assign("x", 1)
+                orelse.start()
+                b.assign("x", 2)
+            b.assign("y", Local("x"))
+            b.ret()
+
+        cfg = _cfg(fn)
+        cp = ConstantPropagation(cfg)
+        use = next(
+            i for i, s in enumerate(cfg.method.statements)
+            if any(d.name == "y" for d in s.defs())
+        )
+        assert cp.value_before(use, "x") is TOP
+
+    def test_agreeing_branches_stay_constant(self):
+        def fn(b):
+            b.assign("p", 0)
+            with b.if_else("==", Local("p"), 0) as orelse:
+                b.assign("x", 9)
+                orelse.start()
+                b.assign("x", 9)
+            b.assign("y", Local("x"))
+            b.ret()
+
+        cfg = _cfg(fn)
+        cp = ConstantPropagation(cfg)
+        use = next(
+            i for i, s in enumerate(cfg.method.statements)
+            if any(d.name == "y" for d in s.defs())
+        )
+        assert cp.value_before(use, "x") == 9
+
+    def test_constant_survives_loop_when_not_redefined(self):
+        """The BOTTOM-aware join: a pre-loop constant is visible inside."""
+
+        def fn(b):
+            b.assign("retries", 5)
+            b.assign("i", 0)
+            with b.while_loop("<", Local("i"), 3):
+                b.assign("use", Local("retries"))
+                b.assign("i", BinaryExpr("+", Local("i"), Const(1)))
+            b.ret()
+
+        cfg = _cfg(fn)
+        cp = ConstantPropagation(cfg)
+        use = next(
+            i for i, s in enumerate(cfg.method.statements)
+            if any(d.name == "use" for d in s.defs())
+        )
+        assert cp.value_before(use, "retries") == 5
+
+    def test_loop_modified_variable_is_top(self):
+        def fn(b):
+            b.assign("i", 0)
+            with b.while_loop("<", Local("i"), 3):
+                b.assign("i", BinaryExpr("+", Local("i"), Const(1)))
+            b.assign("y", Local("i"))
+            b.ret()
+
+        cfg = _cfg(fn)
+        cp = ConstantPropagation(cfg)
+        use = next(
+            i for i, s in enumerate(cfg.method.statements)
+            if any(d.name == "y" for d in s.defs())
+        )
+        assert cp.value_before(use, "i") is TOP
+
+    def test_parameter_is_unknown(self):
+        cfg = _cfg(
+            lambda b: (b.assign("y", Local("p")), b.ret()),
+            params=[("int", "p")],
+        )
+        cp = ConstantPropagation(cfg)
+        assert cp.value_before(0, "p") is None
+
+    def test_call_result_is_top(self):
+        def fn(b):
+            b.call(Local("c"), "size", ret="n", cls="com.C")
+            b.assign("y", Local("n"))
+            b.ret()
+
+        cp = ConstantPropagation(_cfg(fn))
+        assert cp.value_before(1, "n") is TOP
+
+    def test_constant_argument_resolution(self):
+        def fn(b):
+            b.assign("t", 2500)
+            b.call(Local("c"), "setTimeout", Local("t"), cls="com.C")
+            b.ret()
+
+        cfg = _cfg(fn)
+        cp = ConstantPropagation(cfg)
+        invoke_idx, invoke = next(cfg.method.invoke_sites())
+        assert cp.constant_argument(invoke_idx, invoke.args[0]) == 2500
+
+    def test_constant_argument_literal(self):
+        def fn(b):
+            b.call(Local("c"), "setTimeout", 9000, cls="com.C")
+            b.ret()
+
+        cfg = _cfg(fn)
+        cp = ConstantPropagation(cfg)
+        invoke_idx, invoke = next(cfg.method.invoke_sites())
+        assert cp.constant_argument(invoke_idx, invoke.args[0]) == 9000
+
+    def test_division_by_zero_is_top(self):
+        def fn(b):
+            b.assign("z", 0)
+            b.assign("x", BinaryExpr("/", Const(1), Local("z")))
+            b.assign("y", Local("x"))
+            b.ret()
+
+        cp = ConstantPropagation(_cfg(fn))
+        assert cp.value_before(2, "x") is TOP

@@ -1,0 +1,91 @@
+"""Generic dataflow-solver tests (including the must-analysis mode)."""
+
+import pytest
+
+from repro.cfg import CFG
+from repro.dataflow.framework import SetAnalysis
+from repro.ir import Local, MethodBuilder
+
+
+def _diamond_cfg():
+    b = MethodBuilder("com.f.C", "m")
+    b.assign("p", 0)
+    with b.if_else("==", Local("p"), 0) as orelse:
+        b.assign("a", 1)
+        orelse.start()
+        b.assign("b", 2)
+    b.assign("join", 3)
+    b.ret()
+    return CFG(b.build())
+
+
+class DefinedLocals(SetAnalysis):
+    """Must-analysis: locals defined on *every* path."""
+
+    direction = "forward"
+    must = True
+
+    def __init__(self, cfg):
+        super().__init__(cfg)
+        self._universe = frozenset(
+            d.name for s in cfg.method.statements for d in s.defs()
+        )
+        self.solve()
+
+    def universe(self):
+        return self._universe
+
+    def gen(self, node):
+        stmt = self.cfg.stmt(node)
+        if stmt is None:
+            return frozenset()
+        return frozenset(d.name for d in stmt.defs())
+
+
+class MaybeDefined(SetAnalysis):
+    """May-analysis: locals defined on *some* path."""
+
+    direction = "forward"
+    must = False
+
+    def __init__(self, cfg):
+        super().__init__(cfg)
+        self.solve()
+
+    def gen(self, node):
+        stmt = self.cfg.stmt(node)
+        if stmt is None:
+            return frozenset()
+        return frozenset(d.name for d in stmt.defs())
+
+
+class TestMustVsMay:
+    def test_must_intersects_branches(self):
+        cfg = _diamond_cfg()
+        analysis = DefinedLocals(cfg)
+        at_exit = analysis.state_after(cfg.exit)
+        # p and join are defined on every path; a and b only on one each.
+        assert "p" in at_exit and "join" in at_exit
+        assert "a" not in at_exit and "b" not in at_exit
+
+    def test_may_unions_branches(self):
+        cfg = _diamond_cfg()
+        analysis = MaybeDefined(cfg)
+        at_exit = analysis.state_after(cfg.exit)
+        assert {"p", "a", "b", "join"} <= at_exit
+
+    def test_must_analysis_requires_universe(self):
+        class Broken(SetAnalysis):
+            must = True
+
+        cfg = _diamond_cfg()
+        with pytest.raises(NotImplementedError):
+            Broken(cfg).solve()
+
+    def test_solver_reaches_fixed_point(self):
+        """Solving twice changes nothing."""
+        cfg = _diamond_cfg()
+        analysis = MaybeDefined(cfg)
+        before = dict(analysis.out_states)
+        analysis.solve()
+        assert analysis.out_states == before

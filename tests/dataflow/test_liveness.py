@@ -1,0 +1,69 @@
+"""Live-variable analysis tests."""
+
+from repro.cfg import CFG
+from repro.dataflow import Liveness
+from repro.ir import Local, MethodBuilder
+
+
+def _cfg(fn):
+    b = MethodBuilder("com.t.C", "m")
+    fn(b)
+    return CFG(b.build())
+
+
+class TestLiveness:
+    def test_used_local_is_live_before_use(self):
+        cfg = _cfg(lambda b: (b.assign("x", 1), b.assign("y", Local("x")), b.ret()))
+        live = Liveness(cfg)
+        assert "x" in live.live_before(1)
+
+    def test_dead_after_last_use(self):
+        cfg = _cfg(lambda b: (b.assign("x", 1), b.assign("y", Local("x")), b.ret()))
+        live = Liveness(cfg)
+        assert "x" not in live.live_after(1)
+
+    def test_redefined_local_not_live_across_def(self):
+        def fn(b):
+            b.assign("x", 1)
+            b.assign("x", 2)
+            b.assign("y", Local("x"))
+            b.ret()
+
+        live = Liveness(_cfg(fn))
+        assert "x" not in live.live_before(1)  # first def is dead
+
+    def test_branch_keeps_local_live_on_either_path(self):
+        def fn(b):
+            b.assign("x", 1)
+            b.assign("c", 0)
+            with b.if_then("==", Local("c"), 0):
+                b.assign("y", Local("x"))
+            b.ret()
+
+        live = Liveness(_cfg(fn))
+        assert "x" in live.live_before(2)
+
+    def test_loop_keeps_condition_live(self):
+        def fn(b):
+            b.assign("go", True)
+            with b.while_loop("==", Local("go"), True):
+                b.nop()
+            b.ret()
+
+        cfg = _cfg(fn)
+        live = Liveness(cfg)
+        # At the loop-body nop, `go` is live (the back edge re-tests it).
+        from repro.ir import IfStmt
+
+        branch = next(
+            i for i, s in enumerate(cfg.method.statements) if isinstance(s, IfStmt)
+        )
+        assert "go" in live.live_before(branch + 1)
+
+    def test_return_value_live(self):
+        b = MethodBuilder("com.t.C", "m")
+        b.assign("r", 5)
+        b.ret(Local("r"))
+        cfg = CFG(b.build())
+        live = Liveness(cfg)
+        assert "r" in live.live_before(1)

@@ -1,0 +1,94 @@
+"""Reaching-definitions and def-use chain tests."""
+
+from repro.cfg import CFG
+from repro.dataflow import DefUseChains, ReachingDefinitions
+from repro.ir import Local, MethodBuilder
+
+
+def _cfg(fn):
+    b = MethodBuilder("com.t.C", "m", params=[("int", "p")])
+    fn(b)
+    return CFG(b.build())
+
+
+class TestReachingDefinitions:
+    def test_straight_line_def_reaches_use(self):
+        cfg = _cfg(lambda b: (b.assign("x", 1), b.assign("y", Local("x")), b.ret()))
+        rd = ReachingDefinitions(cfg)
+        assert rd.reaching(1, "x") == {0}
+
+    def test_redefinition_kills(self):
+        def fn(b):
+            b.assign("x", 1)
+            b.assign("x", 2)
+            b.assign("y", Local("x"))
+            b.ret()
+
+        rd = ReachingDefinitions(_cfg(fn))
+        assert rd.reaching(2, "x") == {1}
+
+    def test_branch_merges_definitions(self):
+        def fn(b):
+            b.assign("x", 1)
+            with b.if_then("==", Local("p"), 0):
+                b.assign("x", 2)
+            b.assign("y", Local("x"))
+            b.ret()
+
+        cfg = _cfg(fn)
+        rd = ReachingDefinitions(cfg)
+        use = next(
+            i for i, s in enumerate(cfg.method.statements)
+            if any(d.name == "y" for d in s.defs())
+        )
+        assert rd.reaching(use, "x") == {0, 2}
+
+    def test_parameter_definition_is_minus_one(self):
+        cfg = _cfg(lambda b: (b.assign("y", Local("p")), b.ret()))
+        rd = ReachingDefinitions(cfg)
+        assert rd.reaching(0, "p") == {-1}
+
+    def test_this_defined_at_entry_for_instance_methods(self):
+        cfg = _cfg(lambda b: (b.assign("y", Local("this")), b.ret()))
+        rd = ReachingDefinitions(cfg)
+        assert rd.reaching(0, "this") == {-1}
+
+    def test_loop_carried_definition(self):
+        def fn(b):
+            b.assign("x", 0)
+            with b.while_loop("<", Local("x"), 3):
+                b.assign("x", 1)
+            b.assign("y", Local("x"))
+            b.ret()
+
+        cfg = _cfg(fn)
+        rd = ReachingDefinitions(cfg)
+        use = next(
+            i for i, s in enumerate(cfg.method.statements)
+            if any(d.name == "y" for d in s.defs())
+        )
+        assert rd.reaching(use, "x") == {0, 2}
+
+
+class TestDefUseChains:
+    def test_use_sites_of_def(self):
+        def fn(b):
+            b.assign("x", 1)
+            b.assign("a", Local("x"))
+            b.assign("b", Local("x"))
+            b.ret()
+
+        cfg = _cfg(fn)
+        chains = DefUseChains(cfg)
+        assert chains.use_sites(0) == {1, 2}
+
+    def test_definition_sites_of_use(self):
+        cfg = _cfg(lambda b: (b.assign("x", 1), b.assign("y", Local("x")), b.ret()))
+        chains = DefUseChains(cfg)
+        assert chains.definition_sites(1, "x") == {0}
+
+    def test_fallback_for_non_syntactic_use(self):
+        """Asking about a live local not used at the site still answers."""
+        cfg = _cfg(lambda b: (b.assign("x", 1), b.assign("y", 2), b.ret()))
+        chains = DefUseChains(cfg)
+        assert chains.definition_sites(1, "x") == {0}

@@ -1,0 +1,85 @@
+"""Experiment-registry smoke tests (full runs live in benchmarks/)."""
+
+import pytest
+
+from repro.eval.experiments import (
+    EXPERIMENTS,
+    corpus_scan,
+    run_fig3,
+    run_fig8,
+    run_fig10,
+    run_study_tables,
+    run_table4,
+    run_table6,
+    run_table9,
+    run_table11,
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig3",
+            "study",
+            "table4",
+            "table6",
+            "table7",
+            "table8",
+            "fig8",
+            "fig9",
+            "table9",
+            "fig10",
+            "table11",
+            "manifest",
+            "table2x",
+        }
+
+
+class TestCorpusCache:
+    def test_scan_cached(self):
+        first = corpus_scan(10)
+        second = corpus_scan(10)
+        assert first is second
+
+
+class TestRunners:
+    def test_fig3_series_shape(self):
+        report = run_fig3(trials=30)
+        series = report.data["series"]
+        assert set(series) == {"3G", "3G+loss10%"}
+        assert len(series["3G"]) == 11
+
+    def test_study_tables_data(self):
+        report = run_study_tables()
+        assert report.data["total"] == 90
+        assert "Chrome" in report.text
+
+    def test_table4_counts(self):
+        report = run_table4()
+        assert report.data["counts"]["config_apis"] == 77
+
+    def test_table6_small(self):
+        report = run_table6(n_apps=20)
+        assert report.data["n_apps"] == 20
+        assert report.data["total_npds"] > 0
+
+    def test_fig8_small(self):
+        report = run_fig8(n_apps=20)
+        assert "conn_cdf" in report.data
+
+    def test_table9_accuracy(self):
+        report = run_table9()
+        assert report.data["totals"] == [130, 9, 5]
+        assert 0.93 <= report.data["accuracy"] < 0.95
+
+    def test_fig10(self):
+        report = run_fig10()
+        assert report.data["overall_mean"] == pytest.approx(1.7, abs=0.35)
+
+    def test_table11_guidelines(self):
+        report = run_table11(n_apps=20)
+        assert len(report.data["guidelines"]) == 7
+
+    def test_report_str_has_header(self):
+        report = run_table4()
+        assert str(report).startswith("=== table4")

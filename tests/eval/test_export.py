@@ -1,0 +1,57 @@
+"""Experiment-export tests (CSV/JSON artifacts)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.eval.experiments import run_fig3, run_fig10, run_table4, run_table9
+from repro.eval.export import export_report
+
+
+class TestExport:
+    def test_fig3_csv_series(self, tmp_path):
+        report = run_fig3(trials=20)
+        written = export_report(report, tmp_path)
+        csv_path = next(p for p in written if p.suffix == ".csv")
+        with csv_path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["size_bytes", "3G", "3G+loss10%"]
+        assert len(rows) == 12  # header + 11 sizes
+        assert int(rows[1][0]) == 2048
+
+    def test_json_always_written(self, tmp_path):
+        report = run_table4()
+        written = export_report(report, tmp_path)
+        json_path = next(p for p in written if p.suffix == ".json")
+        payload = json.loads(json_path.read_text())
+        assert payload["id"] == "table4"
+        assert payload["data"]["counts"]["config_apis"] == 77
+
+    def test_text_always_written(self, tmp_path):
+        report = run_table4()
+        written = export_report(report, tmp_path)
+        text_path = next(p for p in written if p.suffix == ".txt")
+        assert "Table 4" in text_path.read_text()
+
+    def test_table_reports_have_no_csv(self, tmp_path):
+        report = run_table4()
+        written = export_report(report, tmp_path)
+        assert not any(p.suffix == ".csv" for p in written)
+
+    def test_fig10_csv(self, tmp_path):
+        report = run_fig10()
+        written = export_report(report, tmp_path)
+        csv_path = next(p for p in written if p.suffix == ".csv")
+        with csv_path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["task", "mean_minutes", "ci95_minutes"]
+        assert rows[-1][0] == "Overall"
+
+    def test_enum_keys_jsonable(self, tmp_path):
+        """Table 9's data contains dataclasses and enum-ish keys."""
+        report = run_table9()
+        written = export_report(report, tmp_path)
+        json_path = next(p for p in written if p.suffix == ".json")
+        payload = json.loads(json_path.read_text())
+        assert payload["data"]["totals"] == [130, 9, 5]

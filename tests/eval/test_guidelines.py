@@ -1,0 +1,41 @@
+"""Table 11 guideline-derivation tests."""
+
+import pytest
+
+from repro.core import NChecker
+from repro.eval.guidelines import derive_guidelines
+
+
+@pytest.fixture(scope="module")
+def guidelines(small_corpus):
+    checker = NChecker()
+    results = [checker.scan(apk) for apk, _ in small_corpus]
+    return derive_guidelines(results)
+
+
+class TestTable11:
+    def test_seven_guidelines(self, guidelines):
+        assert len(guidelines) == 7
+
+    def test_guideline_texts_match_paper(self, guidelines):
+        texts = [g.guideline for g in guidelines]
+        assert texts == [
+            "Automatically check connectivity before each network request",
+            "Automatically retry on transient network error",
+            "Set default retries considering the request context",
+            "Pre-define error message on network failure",
+            "Automatically put invalid response into error callbacks",
+            "Explicitly separate success and error network callbacks",
+            "Expose important error types in addition to error callbacks",
+        ]
+
+    def test_observations_carry_measured_numbers(self, guidelines):
+        for guideline in guidelines:
+            assert "%" in guideline.observation
+
+    def test_connectivity_observation_in_plausible_range(self, guidelines):
+        import re
+
+        match = re.match(r"(\d+)%", guidelines[0].observation)
+        assert match is not None
+        assert 0 <= int(match.group(1)) <= 100

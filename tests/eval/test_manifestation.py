@@ -1,0 +1,78 @@
+"""Defect-manifestation study tests."""
+
+import pytest
+
+from repro.core import DefectKind, NChecker
+from repro.eval.manifestation import (
+    AppObservation,
+    ManifestationRow,
+    manifestation_study,
+    observe_app,
+    render_manifestation,
+)
+from repro.corpus.snippets import Connectivity, Notification, RequestSpec
+
+from tests.conftest import single_request_app
+
+
+@pytest.fixture(scope="module")
+def study(small_corpus):
+    return manifestation_study(small_corpus[:20], seed=3)
+
+
+class TestObserveApp:
+    def test_buggy_basichttp_app_crashes(self):
+        apk, _ = single_request_app(RequestSpec(library="basichttp"))
+        checker = NChecker()
+        observation = observe_app(apk, checker.scan(apk), seed=3)
+        assert DefectKind.MISSED_RESPONSE_CHECK in observation.findings
+        assert observation.crashed
+
+    def test_clean_app_shows_nothing(self):
+        spec = RequestSpec(
+            library="basichttp",
+            connectivity=Connectivity.GUARDED,
+            with_timeout=True,
+            with_retry=True,
+            retry_value=2,
+            with_notification=Notification.TOAST,
+            with_response_check=True,
+        )
+        apk, _ = single_request_app(spec)
+        observation = observe_app(apk, NChecker().scan(apk), seed=3)
+        assert not observation.crashed
+        assert not observation.battery_drain
+
+    def test_energy_recorded_for_networked_apps(self):
+        apk, _ = single_request_app(RequestSpec(library="basichttp"))
+        observation = observe_app(apk, NChecker().scan(apk), seed=3)
+        assert observation.energy_mj_per_hour > 0
+
+
+class TestStudy:
+    def test_rows_cover_four_symptoms(self, study):
+        assert [row.symptom for row in study] == [
+            "crash",
+            "silent failure",
+            "battery drain",
+            "long hang",
+        ]
+
+    def test_flagged_apps_more_symptomatic(self, study):
+        """The detector's findings predict the symptoms: wherever both
+        cells have enough apps to be meaningful, flagged apps exhibit the
+        symptom at least as often as clean apps."""
+        for row in study:
+            if row.flagged_apps >= 3 and row.clean_apps >= 3:
+                assert row.flagged_rate >= row.clean_rate, row.kind
+
+    def test_crash_separation_is_sharp(self, study):
+        crash = next(r for r in study if r.symptom == "crash")
+        if crash.flagged_apps:
+            assert crash.flagged_rate >= 0.5
+        assert crash.clean_rate <= 0.1
+
+    def test_render(self, study):
+        text = render_manifestation(study)
+        assert "Defect manifestation" in text
+        assert "crash" in text

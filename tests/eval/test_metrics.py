@@ -1,0 +1,120 @@
+"""Evaluation-metric tests over a small scanned corpus."""
+
+import pytest
+
+from repro.core import NChecker
+from repro.corpus.snippets import Connectivity, Notification, RequestSpec
+from repro.eval.metrics import (
+    app_flags,
+    cdf,
+    fig8_conn_ratios,
+    fraction_above,
+    notification_split,
+    table6,
+    table7,
+    table8,
+)
+
+from tests.conftest import single_request_app
+
+
+@pytest.fixture(scope="module")
+def scanned(small_corpus):
+    checker = NChecker()
+    return [checker.scan(apk) for apk, _ in small_corpus]
+
+
+class TestAppFlags:
+    def test_never_checks_connectivity(self):
+        apk, _ = single_request_app(RequestSpec(connectivity=Connectivity.NONE))
+        flags = app_flags(NChecker().scan(apk))
+        assert flags.never_checks_connectivity
+        assert flags.conn_miss_ratio == 1.0
+
+    def test_guarded_app_not_never(self):
+        apk, _ = single_request_app(RequestSpec(connectivity=Connectivity.GUARDED))
+        flags = app_flags(NChecker().scan(apk))
+        assert not flags.never_checks_connectivity
+        assert flags.conn_miss_ratio == 0.0
+
+    def test_retry_config_counts_api_usage(self):
+        apk, _ = single_request_app(
+            RequestSpec(library="basichttp", with_retry=True, retry_value=2)
+        )
+        flags = app_flags(NChecker().scan(apk))
+        assert flags.retry_lib_requests == 1
+        assert flags.missing_retry_config == 0
+
+    def test_user_notification_tracking(self):
+        apk, _ = single_request_app(
+            RequestSpec(with_notification=Notification.NONE)
+        )
+        flags = app_flags(NChecker().scan(apk))
+        assert flags.user_requests == 1
+        assert flags.user_missing_notification == 1
+        assert flags.never_notifies
+
+
+class TestTables:
+    def test_table6_rows_complete(self, scanned):
+        rows = table6(scanned)
+        assert [r.cause for r in rows] == [
+            "Missed conn. checks",
+            "Missed timeout APIs",
+            "Missed retry APIs",
+            "Over retries",
+            "Missed failure notifications",
+            "Missed response checks",
+        ]
+        for row in rows:
+            assert 0 <= row.buggy <= row.evaluated
+            assert 0 <= row.percent <= 100
+
+    def test_table7_counts_bounded(self, scanned):
+        counts = table7(scanned)
+        assert set(counts) == {
+            "Native", "Volley", "Android Async Http", "Basic Http", "OkHttp"
+        }
+        assert counts["Native"] <= len(scanned)
+
+    def test_table8_percentages_valid(self, scanned):
+        for row in table8(scanned):
+            assert 0 <= row.apps_percent <= 100
+            assert 0 <= row.default_caused_percent <= 100
+
+
+class TestCDF:
+    def test_cdf_monotone(self, scanned):
+        ratios = fig8_conn_ratios(scanned)
+        points = cdf(ratios)
+        values = [v for _p, v in points]
+        assert values == sorted(values)
+        assert values[-1] == 1.0 or not ratios
+
+    def test_cdf_empty(self):
+        assert all(v == 0.0 for _p, v in cdf([]))
+
+    def test_fraction_above(self):
+        assert fraction_above([0.2, 0.6, 0.9], 0.5) == pytest.approx(2 / 3)
+        assert fraction_above([], 0.5) == 0.0
+
+    def test_partial_apps_only(self, scanned):
+        """Fig 8 excludes never-checking and always-checking apps."""
+        for ratio in fig8_conn_ratios(scanned):
+            assert 0.0 < ratio < 1.0
+
+
+class TestNotificationSplit:
+    def test_rates_bounded(self, scanned):
+        split = notification_split(scanned)
+        assert 0.0 <= split.explicit_rate <= 1.0
+        assert 0.0 <= split.implicit_rate <= 1.0
+
+    def test_volley_app_counted(self):
+        apk, _ = single_request_app(
+            RequestSpec(library="volley", with_notification=Notification.TOAST)
+        )
+        split = notification_split([NChecker().scan(apk)])
+        assert split.apps_with_volley == 1
+        assert split.explicit_requests == 1
+        assert split.explicit_notified == 1

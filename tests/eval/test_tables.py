@@ -1,0 +1,45 @@
+"""Text-rendering helper tests."""
+
+from repro.eval.tables import percent, render_cdf, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table([["h1", "h2"], ["aaa", "b"], ["c", "dddd"]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("h1")
+        # Columns align: the second column starts at the same offset.
+        assert lines[2].index("b") == lines[3].index("dddd")
+
+    def test_title(self):
+        text = render_table([["a"]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_empty(self):
+        assert render_table([], title="t") == "t"
+
+    def test_non_string_cells(self):
+        text = render_table([["n"], [42]])
+        assert "42" in text
+
+
+class TestRenderCdf:
+    def test_empty(self):
+        assert render_cdf([]) == "(empty)"
+
+    def test_all_below_half(self):
+        text = render_cdf([0.1, 0.2, 0.3])
+        assert "1.00" in text  # CDF saturates
+
+    def test_bins(self):
+        text = render_cdf([0.5] * 10, n_bins=4)
+        assert len(text.splitlines()) == 4
+
+
+class TestPercent:
+    def test_rounding(self):
+        assert percent(1, 3) == "33%"
+
+    def test_zero_denominator(self):
+        assert percent(5, 0) == "n/a"

@@ -1,0 +1,190 @@
+"""Unit tests for the fluent method/class builders."""
+
+import pytest
+
+from repro.ir import (
+    AssignStmt,
+    ClassBuilder,
+    GotoStmt,
+    IfStmt,
+    InvokeStmt,
+    Local,
+    MethodBuilder,
+    NewExpr,
+    ReturnStmt,
+)
+
+
+class TestBasics:
+    def test_new_emits_alloc_plus_ctor(self):
+        b = MethodBuilder("com.C", "m")
+        local = b.new("com.lib.Client", "c", args=[1])
+        b.ret()
+        method = b.build()
+        assert isinstance(method.statements[0], AssignStmt)
+        assert isinstance(method.statements[0].value, NewExpr)
+        ctor = method.statements[1].invoke()
+        assert ctor.is_constructor and ctor.args[0].value == 1
+        assert local.type_hint == "com.lib.Client"
+
+    def test_call_uses_type_hint_for_class(self):
+        b = MethodBuilder("com.C", "m")
+        c = b.new("com.lib.Client", "c")
+        b.call(c, "get", "http://x")
+        b.ret()
+        method = b.build()
+        assert method.statements[2].invoke().sig.class_name == "com.lib.Client"
+
+    def test_static_call_with_return(self):
+        b = MethodBuilder("com.C", "m")
+        r = b.static_call("com.Util", "now", ret="t")
+        b.ret(r)
+        method = b.build()
+        invoke = method.statements[0].invoke()
+        assert invoke.base is None and invoke.sig.class_name == "com.Util"
+
+    def test_missing_return_appended(self):
+        b = MethodBuilder("com.C", "m")
+        b.nop()
+        method = b.build()
+        assert isinstance(method.statements[-1], ReturnStmt)
+
+    def test_duplicate_label_rejected(self):
+        b = MethodBuilder("com.C", "m")
+        b.label("L")
+        with pytest.raises(ValueError):
+            b.label("L")
+
+
+class TestStructuredControlFlow:
+    def test_if_then_branches_around_body(self):
+        b = MethodBuilder("com.C", "m")
+        b.assign("x", 1)
+        with b.if_then("==", Local("x"), 1):
+            b.assign("y", 2)
+        b.ret()
+        method = b.build()
+        branch = next(s for s in method.statements if isinstance(s, IfStmt))
+        # The emitted branch is the negation, jumping over the body.
+        assert branch.condition.op == "!="
+        assert method.label_index(branch.target) > method.statements.index(branch)
+
+    def test_if_else_both_branches_reach_end(self):
+        b = MethodBuilder("com.C", "m")
+        with b.if_else("==", Local("x"), 0) as orelse:
+            b.assign("y", 1)
+            orelse.start()
+            b.assign("y", 2)
+        b.ret()
+        method = b.build()
+        method.validate()
+        gotos = [s for s in method.statements if isinstance(s, GotoStmt)]
+        assert gotos, "then-branch must jump over the else-branch"
+
+    def test_if_else_without_else_branch(self):
+        b = MethodBuilder("com.C", "m")
+        with b.if_else("==", Local("x"), 0) as orelse:
+            b.assign("y", 1)
+        b.ret()
+        b.build().validate()
+
+    def test_else_cannot_start_twice(self):
+        b = MethodBuilder("com.C", "m")
+        with pytest.raises(RuntimeError):
+            with b.if_else("==", Local("x"), 0) as orelse:
+                orelse.start()
+                orelse.start()
+
+    def test_loop_emits_back_edge(self):
+        b = MethodBuilder("com.C", "m")
+        with b.loop() as loop:
+            b.assign("x", 1)
+            loop.break_()
+        b.ret()
+        method = b.build()
+        method.validate()
+        gotos = [s for s in method.statements if isinstance(s, GotoStmt)]
+        targets = {method.label_index(g.target) for g in gotos}
+        assert min(targets) == 0  # back edge to the loop head
+
+    def test_while_loop_tests_at_head(self):
+        b = MethodBuilder("com.C", "m")
+        b.assign("go", True)
+        with b.while_loop("==", Local("go"), True):
+            b.assign("go", False)
+        b.ret()
+        method = b.build()
+        method.validate()
+        branch = next(s for s in method.statements if isinstance(s, IfStmt))
+        assert branch.condition.op == "!="  # negated exit test
+
+
+class TestTryCatch:
+    def test_trap_recorded_and_valid(self):
+        b = MethodBuilder("com.C", "m")
+        region = b.begin_try()
+        b.assign("x", 1)
+        b.call(Local("c"), "send", cls="com.lib.C")
+        exc = b.begin_catch(region, "java.io.IOException", "e")
+        b.assign("handled", True)
+        b.end_try(region)
+        b.ret()
+        method = b.build()
+        method.validate()
+        assert len(method.traps) == 1
+        trap = method.traps[0]
+        assert trap.exc_type == "java.io.IOException"
+        assert exc == Local("e")
+        # The protected range covers the call site.
+        call_idx = next(i for i, _ in method.invoke_sites())
+        assert method.traps_covering(call_idx) == [trap]
+
+    def test_multi_catch(self):
+        b = MethodBuilder("com.C", "m")
+        region = b.begin_try()
+        b.call(Local("c"), "send", cls="com.lib.C")
+        b.begin_catch(region, "java.io.IOException")
+        b.nop()
+        b.begin_catch(region, "java.lang.Exception")
+        b.nop()
+        b.end_try(region)
+        b.ret()
+        method = b.build()
+        method.validate()
+        assert len(method.traps) == 2
+        assert {t.exc_type for t in method.traps} == {
+            "java.io.IOException",
+            "java.lang.Exception",
+        }
+
+    def test_handler_not_in_protected_range(self):
+        b = MethodBuilder("com.C", "m")
+        region = b.begin_try()
+        b.call(Local("c"), "send", cls="com.lib.C")
+        b.begin_catch(region, "java.io.IOException")
+        b.nop()
+        b.end_try(region)
+        b.ret()
+        method = b.build()
+        handler_idx = method.label_index(method.traps[0].handler)
+        assert method.traps_covering(handler_idx) == []
+
+
+class TestClassBuilder:
+    def test_duplicate_method_rejected(self):
+        cb = ClassBuilder("com.C")
+        b1 = cb.method("m")
+        b1.ret()
+        cb.add(b1)
+        b2 = cb.method("m")
+        b2.ret()
+        with pytest.raises(ValueError):
+            cb.add(b2)
+
+    def test_fields_and_interfaces(self):
+        cb = ClassBuilder("com.C", "com.Base", ["com.I"])
+        cb.add_field("queue", "com.lib.Queue")
+        cls = cb.build()
+        assert cls.superclass == "com.Base"
+        assert cls.interfaces == ("com.I",)
+        assert cls.fields["queue"].type_name == "com.lib.Queue"

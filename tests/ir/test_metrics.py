@@ -1,0 +1,66 @@
+"""Code-metrics tests."""
+
+import pytest
+
+from repro.ir import Local, MethodBuilder, app_metrics, method_metrics
+
+
+def _method(fn):
+    b = MethodBuilder("com.m.C", "m")
+    fn(b)
+    return b.build()
+
+
+class TestMethodMetrics:
+    def test_straight_line_complexity_is_one(self):
+        m = _method(lambda b: (b.assign("x", 1), b.ret()))
+        assert method_metrics(m).cyclomatic == 1
+
+    def test_single_branch_complexity_two(self):
+        def fn(b):
+            b.assign("x", 1)
+            with b.if_then("==", Local("x"), 1):
+                b.assign("y", 2)
+            b.ret()
+
+        assert method_metrics(_method(fn)).cyclomatic == 2
+
+    def test_loop_adds_complexity(self):
+        def fn(b):
+            b.assign("go", True)
+            with b.while_loop("==", Local("go"), True):
+                b.assign("go", False)
+            b.ret()
+
+        assert method_metrics(_method(fn)).cyclomatic >= 2
+
+    def test_invoke_and_trap_counts(self):
+        def fn(b):
+            region = b.begin_try()
+            b.call(Local("c"), "send", cls="com.C")
+            b.begin_catch(region, "java.io.IOException")
+            b.nop()
+            b.end_try(region)
+            b.ret()
+
+        metrics = method_metrics(_method(fn))
+        assert metrics.invoke_sites == 1
+        assert metrics.traps == 1
+
+
+class TestAppMetrics:
+    def test_aggregates(self, small_corpus):
+        apk, _ = small_corpus[0]
+        metrics = app_metrics(apk)
+        assert metrics.classes == len(apk.hierarchy)
+        assert metrics.methods > 0
+        assert metrics.statements > metrics.methods  # bodies are non-trivial
+        assert metrics.mean_statements_per_method == pytest.approx(
+            metrics.statements / metrics.methods
+        )
+
+    def test_rows_render(self, small_corpus):
+        apk, _ = small_corpus[0]
+        rows = app_metrics(apk).as_rows()
+        assert len(rows) == 7
+        assert all(len(r) == 2 for r in rows)

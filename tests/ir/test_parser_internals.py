@@ -1,0 +1,99 @@
+"""Parser internals: comment stripping, argument splitting, edge cases."""
+
+import pytest
+
+from repro.ir import ParseError, parse_stmt
+from repro.ir.parser import _split_args, _strip_comment, parse_atom
+
+
+class TestStripComment:
+    def test_plain_comment_removed(self):
+        assert _strip_comment("x = 5  # set x") == "x = 5"
+
+    def test_full_line_comment_empties(self):
+        assert _strip_comment("# just a note") == ""
+
+    def test_hash_inside_string_kept(self):
+        assert _strip_comment("x = 'a#b'") == "x = 'a#b'"
+
+    def test_invoke_callee_hash_kept(self):
+        line = "invoke static com.U#log('x')"
+        assert _strip_comment(line) == line
+
+    def test_apostrophe_in_comment_safe(self):
+        # Regression: "the paper's" in a comment must not leak through.
+        assert _strip_comment("# the paper's FP shape") == ""
+
+    def test_comment_after_invoke(self):
+        assert (
+            _strip_comment("invoke static com.U#log('x')  # logs")
+            == "invoke static com.U#log('x')"
+        )
+
+
+class TestSplitArgs:
+    def test_empty(self):
+        assert _split_args("") == []
+
+    def test_simple(self):
+        assert _split_args("a, 5, null") == ["a", "5", "null"]
+
+    def test_comma_inside_string(self):
+        assert _split_args("'a,b', c") == ["'a,b'", "c"]
+
+    def test_trailing_whitespace(self):
+        assert _split_args("  a ,  b  ") == ["a", "b"]
+
+
+class TestAtoms:
+    def test_empty_string_constant(self):
+        atom = parse_atom("''")
+        assert atom.value == ""
+
+    def test_garbage_rejected_with_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_atom("@@bad@@", line_no=42)
+        assert "line 42" in str(excinfo.value)
+
+
+class TestStatementEdgeCases:
+    def test_return_with_string(self):
+        stmt = parse_stmt("return 'done'")
+        assert stmt.value.value == "done"
+
+    def test_invoke_no_args(self):
+        stmt = parse_stmt("invoke virtual c:com.C#close()")
+        assert stmt.invoke().args == ()
+
+    def test_negative_constant_argument(self):
+        stmt = parse_stmt("invoke virtual c:com.C#seek(-5)")
+        assert stmt.invoke().args[0].value == -5
+
+    def test_missing_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("invoke virtual c:com.C#close(")
+
+    def test_bad_assignment_target_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("com.Class.field = 5")
+
+    def test_binary_with_negative_right(self):
+        stmt = parse_stmt("x = a + -3")
+        from repro.ir import BinaryExpr
+
+        assert isinstance(stmt.value, BinaryExpr)
+        assert stmt.value.right.value == -3
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "invoke bogus c:com.C#m()",  # unknown dispatch kind
+            "invoke static c:com.C#m()",  # static call with a receiver
+            "invoke virtual com.C#m()",  # instance call without one
+        ],
+    )
+    def test_invoke_shape_errors_are_parse_errors(self, line):
+        """Structural invoke violations surface as ParseError, never as a
+        bare ValueError from the value layer."""
+        with pytest.raises(ParseError):
+            parse_stmt(line)

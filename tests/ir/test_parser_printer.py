@@ -1,0 +1,202 @@
+"""Parser/printer tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    ClassBuilder,
+    Local,
+    MethodBuilder,
+    ParseError,
+    parse_class,
+    parse_stmt,
+    print_class,
+    format_stmt,
+)
+from repro.ir.parser import parse_atom, parse_classes
+from repro.ir.values import Const
+
+
+class TestAtoms:
+    @pytest.mark.parametrize(
+        "text,value",
+        [
+            ("null", None),
+            ("true", True),
+            ("false", False),
+            ("42", 42),
+            ("-7", -7),
+            ("2.5", 2.5),
+            ("'http://x'", "http://x"),
+        ],
+    )
+    def test_constants(self, text, value):
+        atom = parse_atom(text)
+        assert isinstance(atom, Const) and atom.value == value
+
+    def test_identifier_is_local(self):
+        assert parse_atom("client") == Local("client")
+
+    def test_dollar_names(self):
+        assert parse_atom("$t1") == Local("$t1")
+
+    def test_dotted_name_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("com.example.Foo")
+
+
+class TestStatements:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "nop",
+            "return",
+            "return x",
+            "throw e",
+            "goto L1",
+            "if x == null goto L2",
+            "x = 5",
+            "x = y",
+            "x = new com.C",
+            "x = a + b",
+            "x = cast int y",
+            "x = e instanceof com.E",
+            "x = lengthof arr",
+            "x = catch java.io.IOException",
+            "x = getfield o com.C.f",
+            "x = getstatic com.C.f",
+            "putfield o com.C.f = v",
+            "putstatic com.C.f = v",
+            "x = aload arr i",
+            "astore arr i = v",
+            "invoke static com.Util#log('hi')",
+            "invoke virtual c:com.C#get('http://x') -> com.Resp",
+            "r = invoke virtual c:com.C#get(u, 5)",
+        ],
+    )
+    def test_round_trip(self, line):
+        stmt = parse_stmt(line)
+        assert parse_stmt(format_stmt(stmt)) == stmt
+
+    def test_malformed_if_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("if x goto L")
+
+    def test_unknown_statement_rejected(self):
+        with pytest.raises(ParseError):
+            parse_stmt("frobnicate x")
+
+    def test_string_with_comma_in_args(self):
+        stmt = parse_stmt("invoke static com.U#log('a,b', x)")
+        invoke = stmt.invoke()
+        assert invoke.args[0].value == "a,b"
+        assert invoke.args[1] == Local("x")
+
+
+class TestClassParsing:
+    def test_missing_brace_rejected(self):
+        with pytest.raises(ParseError):
+            parse_class("class com.C {\n  method void m() {\n    return\n")
+
+    def test_duplicate_label_rejected(self):
+        text = (
+            "class com.C {\n  method void m() {\n  L:\n  L:\n    return\n  }\n}"
+        )
+        with pytest.raises(ParseError):
+            parse_class(text)
+
+    def test_interface_and_extends(self):
+        text = "class com.C extends com.B implements com.I, com.J {\n}"
+        cls = parse_class(text)
+        assert cls.superclass == "com.B"
+        assert cls.interfaces == ("com.I", "com.J")
+
+    def test_comments_stripped(self):
+        text = (
+            "# leading comment\n"
+            "class com.C {  # trailing\n"
+            "  method void m() {\n"
+            "    x = 5  # set x\n"
+            "    return\n"
+            "  }\n"
+            "}\n"
+        )
+        cls = parse_class(text)
+        assert cls.get_method("m", 0) is not None
+
+    def test_invoke_hash_survives_comment_stripping(self):
+        text = (
+            "class com.C {\n"
+            "  method void m() {\n"
+            "    invoke static com.U#log('x')\n"
+            "    return\n"
+            "  }\n"
+            "}\n"
+        )
+        cls = parse_class(text)
+        invoke = next(cls.get_method("m", 0).invoke_sites())[1]
+        assert invoke.sig.name == "log"
+
+    def test_multiple_classes(self):
+        text = "class com.A {\n}\nclass com.B {\n}"
+        assert [c.name for c in parse_classes(text)] == ["com.A", "com.B"]
+
+
+# -- property: printer/parser round trip on generated programs ---------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9]{0,5}", fullmatch=True)
+_const = st.one_of(
+    st.integers(-1000, 1000),
+    st.booleans(),
+    st.none(),
+    st.from_regex(r"[a-zA-Z0-9_/:.]{0,12}", fullmatch=True),
+)
+
+
+@st.composite
+def _programs(draw):
+    """Random straight-line+branchy method bodies via the builder."""
+    b = MethodBuilder("com.gen.C", "m")
+    n = draw(st.integers(1, 12))
+    known_locals = ["x"]
+    b.assign("x", 0)
+    for i in range(n):
+        choice = draw(st.integers(0, 5))
+        if choice == 0:
+            name = draw(_ident)
+            b.assign(name, draw(_const))
+            known_locals.append(name)
+        elif choice == 1:
+            src = draw(st.sampled_from(known_locals))
+            name = draw(_ident)
+            b.assign(name, Local(src))
+            known_locals.append(name)
+        elif choice == 2:
+            base = b.new(f"com.gen.K{i}", f"o{i}")
+            known_locals.append(base.name)
+        elif choice == 3:
+            base = draw(st.sampled_from(known_locals))
+            b.call(Local(base), f"m{i}", draw(_const), cls=f"com.gen.K{i}")
+        elif choice == 4:
+            with b.if_then("==", Local(draw(st.sampled_from(known_locals))), 0):
+                b.assign(draw(_ident), draw(_const))
+        else:
+            region = b.begin_try()
+            b.call(Local(draw(st.sampled_from(known_locals))), "send", cls="com.gen.N")
+            b.begin_catch(region, "java.io.IOException")
+            b.nop()
+            b.end_try(region)
+    b.ret()
+    cb = ClassBuilder("com.gen.C")
+    method = b.build()
+    cls = cb.build()
+    cls.add_method(method)
+    return cls
+
+
+@given(_programs())
+@settings(max_examples=60, deadline=None)
+def test_print_parse_round_trip(cls):
+    text = print_class(cls)
+    reparsed = parse_class(text)
+    assert print_class(reparsed) == text

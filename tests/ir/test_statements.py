@@ -1,0 +1,89 @@
+"""Unit tests for IR statements: defs/uses, invokes, terminators."""
+
+from repro.ir import (
+    ArrayRef,
+    AssignStmt,
+    BinaryExpr,
+    ConditionExpr,
+    Const,
+    FieldRef,
+    FieldSig,
+    GotoStmt,
+    IfStmt,
+    InvokeExpr,
+    InvokeStmt,
+    KIND_VIRTUAL,
+    Local,
+    MethodSig,
+    NopStmt,
+    ReturnStmt,
+    ThrowStmt,
+)
+
+
+def _invoke(base="c", args=()):
+    return InvokeExpr(
+        KIND_VIRTUAL,
+        Local(base),
+        MethodSig("com.C", "m", tuple("?" for _ in args)),
+        tuple(args),
+    )
+
+
+class TestAssignStmt:
+    def test_local_target_defines(self):
+        stmt = AssignStmt(Local("x"), Const(1))
+        assert stmt.defs() == (Local("x"),)
+        assert stmt.uses() == ()
+
+    def test_copy_uses_source(self):
+        stmt = AssignStmt(Local("x"), Local("y"))
+        assert stmt.uses() == (Local("y"),)
+
+    def test_field_store_defines_nothing_uses_base(self):
+        stmt = AssignStmt(FieldRef(Local("o"), FieldSig("com.C", "f")), Local("v"))
+        assert stmt.defs() == ()
+        assert set(stmt.uses()) == {Local("o"), Local("v")}
+
+    def test_array_store_uses_base_index_value(self):
+        stmt = AssignStmt(ArrayRef(Local("a"), Local("i")), Local("v"))
+        assert set(stmt.uses()) == {Local("a"), Local("i"), Local("v")}
+
+    def test_invoke_extraction(self):
+        stmt = AssignStmt(Local("r"), _invoke())
+        assert stmt.invoke() is stmt.value
+
+    def test_non_invoke_has_no_invoke(self):
+        stmt = AssignStmt(Local("x"), BinaryExpr("+", Local("a"), Const(1)))
+        assert stmt.invoke() is None
+
+
+class TestControlStatements:
+    def test_goto_is_terminator(self):
+        assert GotoStmt("L").is_terminator
+
+    def test_return_is_terminator(self):
+        assert ReturnStmt().is_terminator
+        assert ReturnStmt(Local("x")).uses() == (Local("x"),)
+
+    def test_throw_is_terminator_and_uses(self):
+        stmt = ThrowStmt(Local("e"))
+        assert stmt.is_terminator
+        assert stmt.uses() == (Local("e"),)
+
+    def test_if_is_not_terminator(self):
+        stmt = IfStmt(ConditionExpr("==", Local("x"), Const(None)), "L")
+        assert not stmt.is_terminator
+        assert stmt.uses() == (Local("x"),)
+
+    def test_nop_neutral(self):
+        stmt = NopStmt()
+        assert stmt.defs() == () and stmt.uses() == ()
+        assert not stmt.is_terminator
+
+
+class TestInvokeStmt:
+    def test_uses_and_invoke(self):
+        stmt = InvokeStmt(_invoke(args=(Local("a"),)))
+        assert set(stmt.uses()) == {Local("c"), Local("a")}
+        assert stmt.invoke() is stmt.expr

@@ -1,0 +1,145 @@
+"""IR transformation (statement insertion) tests."""
+
+import pytest
+
+from repro.ir import AssignStmt, Const, GotoStmt, Local, MethodBuilder, NopStmt
+from repro.ir.transform import fresh_label, insert_statements
+
+
+def _looped_method():
+    b = MethodBuilder("com.t.C", "m")
+    b.assign("go", True)
+    with b.while_loop("==", Local("go"), True):
+        b.assign("go", False)
+    b.ret()
+    return b.build()
+
+
+class TestInsertStatements:
+    def test_insert_at_start_shifts_labels(self):
+        method = _looped_method()
+        old_labels = dict(method.labels)
+        insert_statements(method, 0, [NopStmt(), NopStmt()])
+        for name, old in old_labels.items():
+            assert method.labels[name] == old + 2
+        method.validate()
+
+    def test_insert_preserves_branch_semantics(self):
+        method = _looped_method()
+        n_before = len(method.statements)
+        insert_statements(method, 0, [AssignStmt(Local("x"), Const(1))])
+        assert len(method.statements) == n_before + 1
+        method.validate()
+        from repro.cfg import CFG, natural_loops
+
+        loops = natural_loops(CFG(method))
+        assert len(loops) == 1
+        # The inserted statement sits before the loop, not inside it.
+        assert 0 not in loops[0].body
+
+    def test_labels_before_insertion_point_unchanged(self):
+        method = _looped_method()
+        head_labels = {
+            name: idx for name, idx in method.labels.items() if idx < 2
+        }
+        insert_statements(method, len(method.statements) - 1, [NopStmt()])
+        for name, idx in head_labels.items():
+            assert method.labels[name] == idx
+        method.validate()
+
+    def test_new_labels_bound_relative(self):
+        method = _looped_method()
+        name = fresh_label(method)
+        insert_statements(
+            method, 1, [NopStmt(), NopStmt()], new_labels={name: 2}
+        )
+        assert method.labels[name] == 3
+        method.validate()
+
+    def test_duplicate_new_label_rejected(self):
+        method = _looped_method()
+        existing = next(iter(method.labels))
+        with pytest.raises(ValueError):
+            insert_statements(method, 0, [NopStmt()], new_labels={existing: 0})
+
+    def test_out_of_range_index_rejected(self):
+        method = _looped_method()
+        with pytest.raises(IndexError):
+            insert_statements(method, 999, [NopStmt()])
+
+    def test_relative_label_out_of_block_rejected(self):
+        method = _looped_method()
+        with pytest.raises(ValueError):
+            insert_statements(
+                method, 0, [NopStmt()], new_labels={fresh_label(method): 5}
+            )
+
+    def test_empty_insert_is_noop(self):
+        method = _looped_method()
+        before = list(method.statements)
+        insert_statements(method, 0, [])
+        assert method.statements == before
+
+    def test_trap_ranges_follow_labels(self):
+        b = MethodBuilder("com.t.C", "m")
+        region = b.begin_try()
+        b.call(Local("c"), "send", cls="com.C")
+        b.begin_catch(region, "java.io.IOException")
+        b.nop()
+        b.end_try(region)
+        b.ret()
+        method = b.build()
+        call_idx_before = next(i for i, _ in method.invoke_sites())
+        insert_statements(method, 0, [NopStmt(), NopStmt()])
+        method.validate()
+        call_idx_after = next(i for i, _ in method.invoke_sites())
+        assert call_idx_after == call_idx_before + 2
+        # The call is still protected.
+        assert method.traps_covering(call_idx_after)
+
+
+class TestRetargetMode:
+    def test_default_branches_skip_insertion(self):
+        method = _looped_method()
+        # Insert at the loop header: the back edge must skip the new code.
+        header = min(
+            idx for idx in method.labels.values() if idx > 0
+        )
+        insert_statements(method, header, [AssignStmt(Local("guard"), Const(1))])
+        from repro.cfg import CFG, natural_loops
+
+        loops = natural_loops(CFG(method))
+        assert header not in loops[0].body  # the inserted stmt is outside
+
+    def test_retarget_puts_branches_on_insertion(self):
+        method = _looped_method()
+        header = min(idx for idx in method.labels.values() if idx > 0)
+        insert_statements(
+            method,
+            header,
+            [AssignStmt(Local("cfg"), Const(1))],
+            retarget_labels_at_index=True,
+        )
+        from repro.cfg import CFG, natural_loops
+
+        loops = natural_loops(CFG(method))
+        assert header in loops[0].body  # the inserted stmt joined the loop
+
+    def test_retarget_still_shifts_later_labels(self):
+        method = _looped_method()
+        tail_labels = {
+            n: i for n, i in method.labels.items()
+            if i == len(method.statements)
+        }
+        insert_statements(
+            method, 1, [NopStmt()], retarget_labels_at_index=True
+        )
+        for name, old in tail_labels.items():
+            assert method.labels[name] == old + 1
+
+
+class TestFreshLabel:
+    def test_avoids_collisions(self):
+        method = _looped_method()
+        method.labels["patch0"] = 0
+        assert fresh_label(method) == "patch1"

@@ -1,0 +1,145 @@
+"""Unit tests for IR values and expressions."""
+
+import pytest
+
+from repro.ir import (
+    BinaryExpr,
+    CastExpr,
+    ConditionExpr,
+    Const,
+    FieldRef,
+    FieldSig,
+    InstanceOfExpr,
+    InvokeExpr,
+    KIND_STATIC,
+    KIND_VIRTUAL,
+    Local,
+    MethodSig,
+    NewExpr,
+    UnaryExpr,
+    locals_in,
+)
+
+
+class TestLocal:
+    def test_equality_is_by_name(self):
+        assert Local("x") == Local("x", type_hint="com.Foo")
+        assert Local("x") != Local("y")
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Local("x")) == hash(Local("x", "com.Foo"))
+
+    def test_str(self):
+        assert str(Local("client")) == "client"
+
+
+class TestConst:
+    @pytest.mark.parametrize(
+        "value,text",
+        [(None, "null"), (True, "true"), (False, "false"), (5, "5"), (2.5, "2.5")],
+    )
+    def test_rendering(self, value, text):
+        assert str(Const(value)) == text
+
+    def test_string_rendering_quotes(self):
+        assert str(Const("http://x")) == "'http://x'"
+
+
+class TestMethodSig:
+    def test_arity_and_names(self):
+        sig = MethodSig("com.C", "get", ("java.lang.String",), "com.Resp")
+        assert sig.arity == 1
+        assert sig.qualified_name == "com.C.get"
+        assert "com.C.get" in str(sig)
+
+
+class TestInvokeExpr:
+    def test_static_invoke_rejects_receiver(self):
+        sig = MethodSig("com.C", "m")
+        with pytest.raises(ValueError):
+            InvokeExpr(KIND_STATIC, Local("x"), sig)
+
+    def test_virtual_invoke_requires_receiver(self):
+        sig = MethodSig("com.C", "m")
+        with pytest.raises(ValueError):
+            InvokeExpr(KIND_VIRTUAL, None, sig)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            InvokeExpr("dynamic", None, MethodSig("com.C", "m"))
+
+    def test_operands_include_receiver_and_args(self):
+        expr = InvokeExpr(
+            KIND_VIRTUAL,
+            Local("c"),
+            MethodSig("com.C", "m", ("?",)),
+            (Local("a"),),
+        )
+        assert expr.operands() == (Local("c"), Local("a"))
+
+    def test_constructor_detection(self):
+        ctor = InvokeExpr(
+            "special", Local("c"), MethodSig("com.C", "<init>")
+        )
+        assert ctor.is_constructor
+
+
+class TestConditionExpr:
+    @pytest.mark.parametrize(
+        "op,negated",
+        [("==", "!="), ("!=", "=="), ("<", ">="), (">=", "<"), (">", "<="), ("<=", ">")],
+    )
+    def test_negation(self, op, negated):
+        cond = ConditionExpr(op, Local("a"), Const(0))
+        assert cond.negate().op == negated
+
+    def test_double_negation_is_identity(self):
+        cond = ConditionExpr("<", Local("a"), Const(0))
+        assert cond.negate().negate() == cond
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            ConditionExpr("===", Local("a"), Const(0))
+
+
+class TestBinaryExpr:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryExpr("**", Local("a"), Const(2))
+
+    def test_operands(self):
+        expr = BinaryExpr("+", Local("a"), Local("b"))
+        assert expr.operands() == (Local("a"), Local("b"))
+
+
+class TestLocalsIn:
+    def test_atomic_local(self):
+        assert locals_in(Local("x")) == (Local("x"),)
+
+    def test_constant_has_no_locals(self):
+        assert locals_in(Const(3)) == ()
+
+    def test_nested_expression(self):
+        expr = BinaryExpr("+", CastExpr("int", Local("a")), Local("b"))
+        assert set(locals_in(expr)) == {Local("a"), Local("b")}
+
+    def test_invoke_collects_receiver_and_args(self):
+        expr = InvokeExpr(
+            KIND_VIRTUAL, Local("c"), MethodSig("com.C", "m", ("?", "?")),
+            (Local("x"), Const(1)),
+        )
+        assert set(locals_in(expr)) == {Local("c"), Local("x")}
+
+    def test_field_ref(self):
+        ref = FieldRef(Local("o"), FieldSig("com.C", "f"))
+        assert locals_in(ref) == (Local("o"),)
+
+    def test_instanceof(self):
+        expr = InstanceOfExpr(Local("e"), "com.E")
+        assert locals_in(expr) == (Local("e"),)
+
+    def test_unary(self):
+        assert locals_in(UnaryExpr("neg", Local("n"))) == (Local("n"),)
+
+    def test_new_has_no_locals(self):
+        assert locals_in(NewExpr("com.C")) == ()

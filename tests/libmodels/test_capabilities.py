@@ -1,0 +1,80 @@
+"""Table 4 capability-matrix tests."""
+
+import pytest
+
+from repro.libmodels import (
+    ALL_LIBRARIES,
+    CAPABILITY_MATRIX,
+    LIBRARY_COLUMNS,
+    NPD_CAUSE_ROWS,
+    Tolerance,
+    render_table4,
+    tolerance,
+    tolerates_automatically,
+)
+from repro.libmodels import VOLLEY
+
+
+class TestMatrixShape:
+    def test_all_rows_present(self):
+        assert set(CAPABILITY_MATRIX) == set(NPD_CAUSE_ROWS)
+
+    def test_all_rows_have_six_columns(self):
+        for cause, row in CAPABILITY_MATRIX.items():
+            assert len(row) == len(LIBRARY_COLUMNS), cause
+
+    def test_render_has_header_plus_rows(self):
+        rows = render_table4()
+        assert len(rows) == 1 + len(NPD_CAUSE_ROWS)
+        assert rows[0][0] == "NPD Causes"
+
+
+class TestPaperValues:
+    def test_no_library_auto_checks_connectivity(self):
+        assert all(
+            t is Tolerance.MANUAL
+            for t in CAPABILITY_MATRIX["No connectivity check"]
+        )
+
+    def test_volley_auto_timeout(self):
+        assert tolerance("volley", "No timeout") is Tolerance.AUTO
+
+    def test_okhttp_manual_timeout(self):
+        """Paper §3: OkHttp has no default timeout — developers must set it."""
+        assert tolerance("okhttp", "No timeout") is Tolerance.MANUAL
+
+    def test_volley_auto_response_check(self):
+        assert tolerance("volley", "No invalid response check") is Tolerance.AUTO
+
+    def test_nobody_handles_network_switch(self):
+        for row in ("No reconnetion on net switch", "No reconnection on net switch"):
+            if row in CAPABILITY_MATRIX:
+                assert all(t is Tolerance.MANUAL for t in CAPABILITY_MATRIX[row])
+
+    def test_unknown_library_raises(self):
+        with pytest.raises(KeyError):
+            tolerance("retrofit", "No timeout")
+
+
+class TestConsistencyWithDefaults:
+    """The ⋆/© matrix must agree with the modelled LibraryDefaults."""
+
+    def test_auto_timeout_implies_default_timeout(self):
+        for lib in ALL_LIBRARIES:
+            if tolerates_automatically(lib, "No timeout"):
+                assert lib.defaults.timeout_ms is not None, lib.key
+
+    def test_manual_timeout_implies_no_default(self):
+        for lib in ALL_LIBRARIES:
+            if tolerance(lib.key, "No timeout") is Tolerance.MANUAL:
+                assert lib.defaults.timeout_ms is None, lib.key
+
+    def test_auto_retry_implies_default_retries(self):
+        for lib in ALL_LIBRARIES:
+            if tolerates_automatically(lib, "No retry on transient error"):
+                assert lib.defaults.retries > 0, lib.key
+
+    def test_auto_response_check_only_volley(self):
+        for lib in ALL_LIBRARIES:
+            auto = tolerates_automatically(lib, "No invalid response check")
+            assert auto == lib.defaults.auto_response_check, lib.key

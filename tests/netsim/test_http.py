@@ -1,0 +1,115 @@
+"""HTTP client-policy simulation tests (the Fig 3 machinery)."""
+
+import random
+
+import pytest
+
+from repro.libmodels import VOLLEY
+from repro.netsim import (
+    HttpClientSim,
+    OFFLINE,
+    RequestPolicy,
+    THREE_G_CLEAN,
+    THREE_G_LOSSY,
+    download_success_rate,
+)
+
+
+class TestPolicies:
+    def test_volley_default_matches_paper(self):
+        policy = RequestPolicy.volley_default()
+        assert policy.timeout_ms == 2500
+        assert policy.max_retries == 1
+        assert policy.backoff_multiplier == 1.0
+
+    def test_from_library_defaults(self):
+        policy = RequestPolicy.from_defaults(VOLLEY.defaults)
+        assert policy.timeout_ms == 2500 and policy.max_retries == 1
+
+
+class TestRequests:
+    def test_clean_link_succeeds_first_attempt(self):
+        client = HttpClientSim(RequestPolicy.volley_default(), random.Random(0))
+        result = client.request(THREE_G_CLEAN, 16 * 1024)
+        assert result.success and result.attempts == 1
+
+    def test_offline_fails_after_all_retries(self):
+        client = HttpClientSim(RequestPolicy.volley_default(), random.Random(0))
+        result = client.request(OFFLINE, 16 * 1024)
+        assert not result.success
+        assert result.attempts == 2  # 1 + 1 retry
+        assert result.failure == "offline"
+
+    def test_no_timeout_policy_blocks_long_offline(self):
+        """Paper Cause 3.1: without an explicit timeout the user waits for
+        the OS-level give-up — minutes."""
+        client = HttpClientSim(RequestPolicy(timeout_ms=None), random.Random(0))
+        result = client.request(OFFLINE, 16 * 1024)
+        assert not result.success
+        assert result.total_ms > 30_000
+
+    def test_backoff_multiplier_grows_timeout(self):
+        policy = RequestPolicy(timeout_ms=1000, max_retries=2, backoff_multiplier=2.0)
+        client = HttpClientSim(policy, random.Random(3))
+        result = client.request(OFFLINE, 16 * 1024)
+        # Attempts wait 1000, 2000, 4000 -> at least 7000 total.
+        assert result.total_ms >= 3000
+
+
+class TestFig3Shape:
+    """The headline sensitivity result: who wins and where it falls off."""
+
+    def test_clean_3g_succeeds_at_all_sizes(self):
+        for size in (2 * 1024, 128 * 1024, 2 * 1024 * 1024):
+            rate = download_success_rate(
+                THREE_G_CLEAN, size, RequestPolicy.volley_default(), trials=50
+            )
+            assert rate == 1.0, size
+
+    def test_lossy_3g_small_files_mostly_succeed(self):
+        rate = download_success_rate(
+            THREE_G_LOSSY, 2 * 1024, RequestPolicy.volley_default(), trials=100
+        )
+        assert rate > 0.9
+
+    def test_lossy_3g_large_files_mostly_fail(self):
+        rate = download_success_rate(
+            THREE_G_LOSSY, 2 * 1024 * 1024, RequestPolicy.volley_default(), trials=100
+        )
+        assert rate < 0.2
+
+    def test_success_rate_monotone_in_size(self):
+        policy = RequestPolicy.volley_default()
+        sizes = [2 * 1024 * (2 ** i) for i in range(0, 11, 2)]
+        rates = [
+            download_success_rate(THREE_G_LOSSY, s, policy, trials=150)
+            for s in sizes
+        ]
+        # Allow small Monte-Carlo wiggle but require the downward trend.
+        for earlier, later in zip(rates, rates[2:]):
+            assert later <= earlier + 0.05
+
+    def test_loss_hurts(self):
+        policy = RequestPolicy.volley_default()
+        size = 256 * 1024
+        clean = download_success_rate(THREE_G_CLEAN, size, policy, trials=100)
+        lossy = download_success_rate(THREE_G_LOSSY, size, policy, trials=100)
+        assert clean > lossy
+
+    def test_longer_timeout_helps(self):
+        """The paper's point: developers must tune the defaults."""
+        size = 512 * 1024
+        default = download_success_rate(
+            THREE_G_LOSSY, size, RequestPolicy.volley_default(), trials=150
+        )
+        tuned = download_success_rate(
+            THREE_G_LOSSY, size,
+            RequestPolicy(timeout_ms=20_000, max_retries=1), trials=150,
+        )
+        assert tuned > default
+
+    def test_deterministic_given_seed(self):
+        policy = RequestPolicy.volley_default()
+        r1 = download_success_rate(THREE_G_LOSSY, 64 * 1024, policy, trials=60, seed=5)
+        r2 = download_success_rate(THREE_G_LOSSY, 64 * 1024, policy, trials=60, seed=5)
+        assert r1 == r2

@@ -1,0 +1,150 @@
+"""IR runtime tests: injected NPDs must manifest as user-visible symptoms."""
+
+import pytest
+
+from repro.corpus.snippets import (
+    Backoff,
+    Connectivity,
+    Notification,
+    RequestSpec,
+    RetryLoopShape,
+)
+from repro.netsim import LinkProfile, OFFLINE, Runtime, THREE_G
+
+from tests.conftest import single_request_app
+
+#: A link so degraded that mid-transfer read timeouts are near-certain.
+TERRIBLE = LinkProfile("terrible", bandwidth_kbps=780, rtt_ms=100, loss_rate=0.6)
+
+
+def run(spec, link, seed=7):
+    apk, _ = single_request_app(spec, package="com.run.demo")
+    runtime = Runtime(apk, link, seed=seed)
+    return runtime.run_entry("com.run.demo.MainActivity", "onClick")
+
+
+class TestCrashSymptom:
+    def test_unchecked_response_crashes_on_bad_link(self):
+        """Paper Cause 3.3: null response dereference."""
+        report = run(RequestSpec(library="basichttp"), TERRIBLE)
+        assert report.crashed
+        assert report.crash_type == "java.lang.NullPointerException"
+
+    def test_response_check_prevents_crash(self):
+        report = run(
+            RequestSpec(library="basichttp", with_response_check=True), TERRIBLE
+        )
+        assert not report.crashed
+
+    def test_clean_link_no_crash(self):
+        report = run(RequestSpec(library="basichttp"), THREE_G)
+        assert not report.crashed
+        assert report.requests_succeeded == 1
+
+    def test_uncaught_ioexception_crashes(self):
+        """A blocking request without try/catch dies on disconnect."""
+        from repro.corpus.appbuilder import AppBuilder
+
+        app = AppBuilder("com.run.demo")
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        conn = body.new("java.net.HttpURLConnection", "conn")
+        body.call(conn, "getInputStream", ret="in")
+        body.ret()
+        activity.add(body)
+        report = Runtime(app.build(), OFFLINE, seed=1).run_entry(
+            "com.run.demo.MainActivity", "onClick"
+        )
+        assert report.crashed and report.crash_type == "java.io.IOException"
+
+
+class TestSilentFailureSymptom:
+    def test_silent_failure_without_notification(self):
+        report = run(RequestSpec(library="okhttp"), OFFLINE)
+        assert report.silent_failure
+
+    def test_toast_breaks_the_silence(self):
+        report = run(
+            RequestSpec(library="okhttp", with_notification=Notification.TOAST),
+            OFFLINE,
+        )
+        assert not report.silent_failure
+        assert report.user_notified_of_failure
+
+    def test_volley_error_listener_fires(self):
+        report = run(
+            RequestSpec(library="volley", with_notification=Notification.TOAST),
+            OFFLINE,
+        )
+        assert report.user_notified_of_failure
+
+    def test_volley_success_listener_on_clean_link(self):
+        report = run(
+            RequestSpec(library="volley", with_notification=Notification.TOAST),
+            THREE_G,
+        )
+        assert report.requests_succeeded == 1
+        assert not report.user_notified_of_failure  # no error -> no toast
+
+
+class TestBatteryDrainSymptom:
+    def test_aggressive_loop_drains_battery_offline(self):
+        """Fig 2's Telegram bug, reproduced end to end."""
+        report = run(
+            RequestSpec(
+                library="basichttp",
+                retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT,
+                backoff=Backoff.NONE,
+            ),
+            OFFLINE,
+        )
+        assert report.battery_drain
+        assert report.attempts_per_minute > 3
+
+    def test_exponential_backoff_avoids_drain(self):
+        report = run(
+            RequestSpec(
+                library="basichttp",
+                retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT,
+                backoff=Backoff.EXPONENTIAL,
+            ),
+            OFFLINE,
+        )
+        assert not report.battery_drain
+        assert report.attempts_per_minute < 1
+
+    def test_fig6d_loop_also_drains(self):
+        report = run(
+            RequestSpec(
+                library="basichttp",
+                retry_loop=RetryLoopShape.CALLEE_CATCH,
+                backoff=Backoff.NONE,
+            ),
+            OFFLINE,
+        )
+        assert report.battery_drain
+
+
+class TestConnectivityGuardEffect:
+    def test_guard_prevents_wasted_attempts_offline(self):
+        report = run(RequestSpec(connectivity=Connectivity.GUARDED), OFFLINE)
+        assert report.network_attempts == 0
+        assert not report.crashed
+
+    def test_unguarded_request_attempts_anyway(self):
+        report = run(RequestSpec(connectivity=Connectivity.NONE), OFFLINE)
+        assert report.network_attempts > 0
+
+
+class TestVirtualClock:
+    def test_sim_time_reflects_waiting(self):
+        report = run(RequestSpec(library="okhttp"), OFFLINE)
+        # OkHttp has no default timeout: the user waits for the SYN give-up.
+        assert report.sim_time_ms > 30_000
+
+    def test_timeout_bounds_waiting(self):
+        report = run(
+            RequestSpec(library="okhttp", with_timeout=True, timeout_ms=3000),
+            OFFLINE,
+        )
+        assert report.sim_time_ms < 15_000

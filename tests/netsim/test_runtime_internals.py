@@ -1,0 +1,248 @@
+"""IR interpreter internals: exception dispatch, heap, async dispatch."""
+
+import pytest
+
+from repro.app import APK, Manifest
+from repro.corpus.appbuilder import AppBuilder
+from repro.ir import BinaryExpr, ClassBuilder, Const, InstanceOfExpr, Local
+from repro.netsim import Runtime, SimObject, THREE_G, WIFI
+from repro.netsim.runtime import _binop, _catches
+
+
+def _run(build, entry="onClick", package="com.rt.test", link=THREE_G, seed=0):
+    app = AppBuilder(package)
+    activity = app.activity("MainActivity")
+    body = activity.method(entry, params=[("android.view.View", "v")])
+    build(app, activity, body)
+    body.ret()
+    activity.add(body)
+    runtime = Runtime(app.build(), link, seed=seed)
+    report = runtime.run_entry(f"{package}.MainActivity", entry)
+    return runtime, report
+
+
+class TestExceptionDispatch:
+    def test_catches_exact_type(self):
+        assert _catches("java.io.IOException", "java.io.IOException")
+
+    def test_catches_supertype(self):
+        assert _catches("java.lang.Exception", "java.io.IOException")
+        assert _catches("java.lang.Throwable", "java.lang.NullPointerException")
+
+    def test_does_not_catch_sibling(self):
+        assert not _catches("java.io.IOException", "java.lang.NullPointerException")
+
+    def test_thrown_app_exception_caught_by_matching_trap(self):
+        def build(app, activity, body):
+            region = body.begin_try()
+            exc = body.new("java.io.IOException", "exc")
+            body.throw(exc)
+            body.begin_catch(region, "java.lang.Exception")
+            body.assign("handled", True)
+            body.end_try(region)
+
+        _runtime, report = _run(build)
+        assert not report.crashed
+
+    def test_uncaught_throw_crashes(self):
+        def build(app, activity, body):
+            exc = body.new("java.io.IOException", "exc")
+            body.throw(exc)
+
+        _runtime, report = _run(build)
+        assert report.crashed and report.crash_type == "java.io.IOException"
+
+
+class TestHeapSemantics:
+    def test_field_round_trip(self):
+        def build(app, activity, body):
+            obj = body.new("com.rt.test.Box", "box")
+            body.set_field(obj, "com.rt.test.Box", "value", 42)
+            got = body.get_field(obj, "com.rt.test.Box", "value", "got")
+            with body.if_then("!=", got, 42):
+                exc = body.new("java.io.IOException", "bad")
+                body.throw(exc)
+
+        _runtime, report = _run(build)
+        assert not report.crashed  # field read the stored 42
+
+    def test_null_field_base_raises_npe(self):
+        def build(app, activity, body):
+            body.assign("obj", None)
+            body.get_field(Local("obj"), "com.rt.test.Box", "value", "got")
+
+        _runtime, report = _run(build)
+        assert report.crashed
+        assert report.crash_type == "java.lang.NullPointerException"
+
+    def test_arrays(self):
+        from repro.ir import NewArrayExpr, ArrayRef, AssignStmt
+
+        def build(app, activity, body):
+            body.emit(AssignStmt(Local("arr"), NewArrayExpr("int", Const(3))))
+            body.emit(AssignStmt(ArrayRef(Local("arr"), Const(0)), Const(7)))
+            body.emit(AssignStmt(Local("x"), ArrayRef(Local("arr"), Const(0))))
+            with body.if_then("!=", Local("x"), 7):
+                exc = body.new("java.io.IOException", "bad")
+                body.throw(exc)
+
+        _runtime, report = _run(build)
+        assert not report.crashed
+
+    def test_instanceof_uses_hierarchy(self):
+        def build(app, activity, body):
+            sub = app.new_class("Sub", "com.rt.test.Base")
+            stub = sub.method("noop")
+            stub.ret()
+            sub.add(stub)
+            base = app.new_class("Base")
+            stub = base.method("noop2")
+            stub.ret()
+            base.add(stub)
+            obj = body.new("com.rt.test.Sub", "obj")
+            body.assign("isBase", InstanceOfExpr(obj, "com.rt.test.Base"))
+            with body.if_then("==", Local("isBase"), False):
+                exc = body.new("java.io.IOException", "bad")
+                body.throw(exc)
+
+        _runtime, report = _run(build)
+        assert not report.crashed
+
+
+class TestBinop:
+    @pytest.mark.parametrize(
+        "op,left,right,expected",
+        [
+            ("+", 2, 3, 5),
+            ("-", 2, 3, -1),
+            ("*", 4, 3, 12),
+            ("/", 7, 2, 3),
+            ("%", 7, 2, 1),
+            ("cmp", 5, 3, 1),
+            ("cmp", 3, 5, -1),
+            ("&", 6, 3, 2),
+            ("<<", 1, 3, 8),
+        ],
+    )
+    def test_arithmetic(self, op, left, right, expected):
+        assert _binop(op, left, right) == expected
+
+    def test_none_coerced_to_zero(self):
+        assert _binop("+", None, 5) == 5
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(ValueError):
+            _binop("**", 2, 3)
+
+
+class TestAsyncDispatch:
+    def test_asynctask_runs_background_then_post(self):
+        package = "com.rt.task"
+        app = AppBuilder(package)
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        task = body.new(f"{package}.Job", "job")
+        body.call(task, "execute")
+        body.ret()
+        activity.add(body)
+
+        job = app.async_task("Job")
+        bg = job.method("doInBackground")
+        client = bg.new("com.turbomanage.httpclient.BasicHttpClient", "c")
+        bg.call(client, "get", "http://x", ret="r")
+        bg.ret("done")
+        job.add(bg)
+        post = job.method("onPostExecute", params=[("java.lang.String", "r")])
+        toast = post.static_call(
+            "android.widget.Toast", "makeText", "ctx", "done", 0,
+            ret="t", return_type="android.widget.Toast",
+        )
+        post.call(toast, "show", cls="android.widget.Toast")
+        post.ret()
+        job.add(post)
+
+        runtime = Runtime(app.build(), WIFI, seed=0)
+        report = runtime.run_entry(f"{package}.MainActivity", "onClick")
+        assert report.requests_succeeded == 1
+        assert report.notifications == 1  # onPostExecute ran
+
+    def test_runnable_via_thread_start(self):
+        package = "com.rt.thread"
+        app = AppBuilder(package)
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        worker = body.new(f"{package}.Worker", "w")
+        body.call(worker, "start")
+        body.ret()
+        activity.add(body)
+
+        worker_cls = app.new_class("Worker", "java.lang.Thread")
+        run = worker_cls.method("run")
+        client = run.new("com.turbomanage.httpclient.BasicHttpClient", "c")
+        run.call(client, "get", "http://x", ret="r")
+        run.ret()
+        worker_cls.add(run)
+
+        report = Runtime(app.build(), WIFI, seed=0).run_entry(
+            f"{package}.MainActivity", "onClick"
+        )
+        assert report.network_attempts >= 1
+
+
+class TestEntryLookup:
+    def test_missing_class_raises_keyerror(self):
+        app = AppBuilder("com.rt.missing")
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        body.ret()
+        activity.add(body)
+        runtime = Runtime(app.build(), THREE_G)
+        with pytest.raises(KeyError, match="no class"):
+            runtime.run_entry("com.rt.missing.Ghost", "onClick")
+
+    def test_missing_method_raises_keyerror(self):
+        app = AppBuilder("com.rt.missing2")
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        body.ret()
+        activity.add(body)
+        runtime = Runtime(app.build(), THREE_G)
+        with pytest.raises(KeyError, match="no method"):
+            runtime.run_entry("com.rt.missing2.MainActivity", "onSwipe")
+
+    def test_report_is_reusable_view(self):
+        """run_entry returns the runtime's report object, updated in place."""
+        app = AppBuilder("com.rt.view")
+        activity = app.activity("MainActivity")
+        body = activity.method("onClick", params=[("android.view.View", "v")])
+        body.ret()
+        activity.add(body)
+        runtime = Runtime(app.build(), THREE_G)
+        report = runtime.run_entry("com.rt.view.MainActivity", "onClick")
+        assert report is runtime.report
+        assert report.statements_executed >= 1
+
+
+class TestPolicyApplication:
+    def test_config_call_shapes_the_simulated_policy(self):
+        def build(app, activity, body):
+            client = body.new("com.turbomanage.httpclient.BasicHttpClient", "c")
+            body.call(client, "setReadWriteTimeout", 1234)
+            body.call(client, "setMaxRetries", 3)
+            body.call(client, "get", "http://x", ret="r")
+
+        runtime, _report = _run(build)
+        # Inspect the recorded policy through a second direct run.
+        from repro.netsim import RequestPolicy
+
+        obj = SimObject("com.turbomanage.httpclient.BasicHttpClient")
+        from repro.libmodels import default_registry
+        from repro.ir import InvokeExpr, KIND_VIRTUAL, MethodSig
+
+        reg = default_registry()
+        invoke = InvokeExpr(
+            KIND_VIRTUAL, Local("c"),
+            MethodSig("com.turbomanage.httpclient.BasicHttpClient", "setMaxRetries", ("?",)),
+        )
+        found = reg.find_config(invoke)
+        assert found is not None

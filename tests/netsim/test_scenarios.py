@@ -1,0 +1,60 @@
+"""Disruption-scenario tests."""
+
+import pytest
+
+from repro.corpus.snippets import Connectivity, Notification, RequestSpec
+from repro.netsim import Runtime, SCENARIOS
+from repro.netsim.scenarios import AIRPLANE_TOGGLE, COMMUTE_START, SUBWAY
+
+from tests.conftest import single_request_app
+
+
+class TestScenarioTable:
+    def test_all_scenarios_are_valid_schedules(self):
+        for name, schedule in SCENARIOS.items():
+            assert schedule.segments[0][0] == 0.0, name
+            starts = [s for s, _ in schedule.segments]
+            assert starts == sorted(starts), name
+
+    def test_commute_has_a_dead_gap(self):
+        assert not COMMUTE_START.link_at(11_000).connected
+        assert COMMUTE_START.link_at(0).connected
+        assert COMMUTE_START.link_at(20_000).connected
+
+    def test_subway_alternates(self):
+        connected = [SUBWAY.link_at(t).connected for t in (0, 25_000, 55_000, 80_000)]
+        assert connected == [True, False, True, False]
+
+
+class TestScenarioRuns:
+    def _run(self, spec, schedule, seed=7):
+        apk, _ = single_request_app(spec, package="com.scen.app")
+        return Runtime(apk, schedule, seed=seed).run_entry(
+            "com.scen.app.MainActivity", "onClick"
+        )
+
+    def test_guarded_app_skips_request_in_airplane_gap(self):
+        """A request fired at t=0 (WiFi up) proceeds; the same app started
+        during the airplane-mode window doesn't burn the radio."""
+        spec = RequestSpec(connectivity=Connectivity.GUARDED)
+        report = self._run(spec, AIRPLANE_TOGGLE)
+        assert report.network_attempts > 0  # WiFi was up at t=0
+
+    def test_subway_entry_sees_working_network_first(self):
+        spec = RequestSpec(
+            library="basichttp",
+            with_timeout=True,
+            with_response_check=True,
+            with_notification=Notification.TOAST,
+        )
+        report = self._run(spec, SUBWAY)
+        assert report.requests_succeeded == 1  # t=0 is a good window
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_executes(self, name):
+        spec = RequestSpec(
+            library="basichttp", with_timeout=True, with_response_check=True
+        )
+        report = self._run(spec, SCENARIOS[name])
+        assert report.statements_executed > 0
+        assert not report.budget_exhausted

@@ -1,0 +1,92 @@
+"""Simplified-TCP model tests, including monotonicity properties."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim import LinkProfile, OFFLINE, THREE_G, connect, transfer
+
+
+class TestConnect:
+    def test_lossless_connect_is_one_rtt(self):
+        outcome = connect(THREE_G, random.Random(0))
+        assert outcome.completed
+        assert outcome.total_ms == THREE_G.rtt_ms
+
+    def test_offline_connect_never_completes(self):
+        outcome = connect(OFFLINE, random.Random(0))
+        assert not outcome.completed
+        assert outcome.total_ms > 10_000  # the SYN give-up horizon
+
+    def test_full_loss_exhausts_syn_attempts(self):
+        lossy = LinkProfile("dead", 780, 100, loss_rate=1.0)
+        outcome = connect(lossy, random.Random(0))
+        assert not outcome.completed
+
+
+class TestTransfer:
+    def test_lossless_transfer_completes(self):
+        outcome = transfer(THREE_G, 64 * 1024, random.Random(0))
+        assert outcome.completed
+        assert outcome.max_stall_ms == 0.0
+        assert outcome.segments_lost == 0
+
+    def test_transfer_time_scales_with_size(self):
+        rng = random.Random(0)
+        small = transfer(THREE_G, 8 * 1024, rng).total_ms
+        large = transfer(THREE_G, 512 * 1024, random.Random(0)).total_ms
+        assert large > small * 10
+
+    def test_read_timeout_cuts_transfer(self):
+        lossy = THREE_G.with_loss(0.9)
+        outcome = transfer(lossy, 64 * 1024, random.Random(0), read_timeout_ms=1000)
+        assert not outcome.completed
+        assert outcome.max_stall_ms >= 1000
+
+    def test_offline_transfer_fails(self):
+        outcome = transfer(OFFLINE, 1024, random.Random(0), read_timeout_ms=2500)
+        assert not outcome.completed
+
+    def test_loss_increases_time(self):
+        clean_time = transfer(THREE_G, 128 * 1024, random.Random(1)).total_ms
+        lossy_time = transfer(
+            THREE_G.with_loss(0.2), 128 * 1024, random.Random(1)
+        ).total_ms
+        assert lossy_time > clean_time
+
+
+class TestLinkProfiles:
+    def test_with_loss_renames(self):
+        lossy = THREE_G.with_loss(0.1)
+        assert lossy.loss_rate == 0.1
+        assert "loss" in lossy.name
+
+    def test_serialisation_delay(self):
+        # 780 kbps: 1 KB = 8192 bits ≈ 10.5 ms.
+        assert THREE_G.ms_per_bytes(1024) == pytest.approx(10.5, rel=0.01)
+
+
+@given(
+    size=st.integers(1024, 512 * 1024),
+    loss=st.floats(0.0, 0.3),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=40, deadline=None)
+def test_transfer_without_timeout_always_completes(size, loss, seed):
+    """With no read timeout the (finite-RTO) model always finishes."""
+    link = THREE_G.with_loss(loss)
+    outcome = transfer(link, size, random.Random(seed))
+    assert outcome.completed
+    assert outcome.total_ms > 0
+
+
+@given(seed=st.integers(0, 50), size=st.integers(1024, 128 * 1024))
+@settings(max_examples=30, deadline=None)
+def test_timeout_only_reduces_completion(seed, size):
+    """Adding a read timeout can only turn completions into failures."""
+    link = THREE_G.with_loss(0.1)
+    free = transfer(link, size, random.Random(seed))
+    capped = transfer(link, size, random.Random(seed), read_timeout_ms=2500)
+    if capped.completed:
+        assert free.completed

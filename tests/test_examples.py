@@ -1,0 +1,53 @@
+"""Every example script must run to completion and print its headline."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = _run("quickstart.py")
+        assert "NPD(s)" in out
+        assert "Fix Suggestion" in out
+
+    def test_scan_corpus(self):
+        out = _run("scan_corpus.py", "10")
+        assert "NPDs across" in out
+        assert "Missed conn. checks" in out
+
+    def test_disruption_lab(self):
+        out = _run("disruption_lab.py")
+        assert "CRASH" in out
+        assert "BATTERY DRAIN" in out
+        assert "Volley defaults" in out
+
+    def test_fix_workflow(self):
+        out = _run("fix_workflow.py")
+        assert "Before: 5 NPD(s)" in out
+        assert "After: 0 NPD(s)" in out
+
+    def test_auto_patch(self):
+        out = _run("auto_patch.py")
+        assert "After patching: 0 NPDs" in out
+        assert "$npd_cm" in out  # the inserted guard is visible
+
+    def test_network_switch_demo(self):
+        out = _run("network_switch_demo.py")
+        assert "message LOST" in out
+        assert "message delivered" in out

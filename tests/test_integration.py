@@ -1,0 +1,169 @@
+"""Integration tests closing the loop the paper argues for:
+
+1. **detect → manifest** — every defect NChecker reports corresponds to a
+   symptom the runtime actually produces under a disruptive network, and
+   applying the suggested fix removes both the warning and the symptom;
+2. **serialise → rescan** — apps survive the `.apkt` round trip with
+   identical findings.
+"""
+
+import pytest
+
+from repro.app import dumps_apk, loads_apk
+from repro.core import DefectKind, NChecker
+from repro.corpus.snippets import (
+    Backoff,
+    Connectivity,
+    Notification,
+    RequestSpec,
+    RetryLoopShape,
+)
+from repro.netsim import LinkProfile, OFFLINE, Runtime, THREE_G
+
+from tests.conftest import single_request_app
+
+TERRIBLE = LinkProfile("terrible", bandwidth_kbps=780, rtt_ms=100, loss_rate=0.6)
+
+
+def scan_and_run(spec, link, seed=7):
+    apk, _ = single_request_app(spec, package="com.itest.app")
+    result = NChecker().scan(apk)
+    report = Runtime(apk, link, seed=seed).run_entry(
+        "com.itest.app.MainActivity", "onClick"
+    )
+    return result, report
+
+
+class TestDefectsManifest:
+    def test_missed_response_check_becomes_crash(self):
+        result, report = scan_and_run(RequestSpec(library="basichttp"), TERRIBLE)
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 1
+        assert report.crashed
+
+    def test_fixed_response_check_no_warning_no_crash(self):
+        result, report = scan_and_run(
+            RequestSpec(library="basichttp", with_response_check=True), TERRIBLE
+        )
+        assert result.count_of(DefectKind.MISSED_RESPONSE_CHECK) == 0
+        assert not report.crashed
+
+    def test_missed_notification_becomes_silent_failure(self):
+        result, report = scan_and_run(RequestSpec(library="okhttp"), OFFLINE)
+        assert result.count_of(DefectKind.MISSED_NOTIFICATION) == 1
+        assert report.silent_failure
+
+    def test_fixed_notification_surfaces_failure(self):
+        result, report = scan_and_run(
+            RequestSpec(library="okhttp", with_notification=Notification.TOAST),
+            OFFLINE,
+        )
+        assert result.count_of(DefectKind.MISSED_NOTIFICATION) == 0
+        assert report.user_notified_of_failure
+
+    def test_aggressive_loop_becomes_battery_drain(self):
+        result, report = scan_and_run(
+            RequestSpec(
+                library="basichttp",
+                retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT,
+                backoff=Backoff.NONE,
+            ),
+            OFFLINE,
+        )
+        assert result.count_of(DefectKind.AGGRESSIVE_RETRY_LOOP) == 1
+        assert report.battery_drain
+
+    def test_fixed_backoff_no_warning_no_drain(self):
+        result, report = scan_and_run(
+            RequestSpec(
+                library="basichttp",
+                retry_loop=RetryLoopShape.UNCONDITIONAL_EXIT,
+                backoff=Backoff.EXPONENTIAL,
+            ),
+            OFFLINE,
+        )
+        assert result.count_of(DefectKind.AGGRESSIVE_RETRY_LOOP) == 0
+        assert not report.battery_drain
+
+    def test_missed_connectivity_check_wastes_attempts_offline(self):
+        result, report = scan_and_run(
+            RequestSpec(connectivity=Connectivity.NONE), OFFLINE
+        )
+        assert result.count_of(DefectKind.MISSED_CONNECTIVITY_CHECK) == 1
+        assert report.network_attempts > 0
+
+    def test_fixed_connectivity_check_saves_the_radio(self):
+        result, report = scan_and_run(
+            RequestSpec(connectivity=Connectivity.GUARDED), OFFLINE
+        )
+        assert result.count_of(DefectKind.MISSED_CONNECTIVITY_CHECK) == 0
+        assert report.network_attempts == 0
+
+    def test_missed_timeout_becomes_long_hang(self):
+        result, report = scan_and_run(RequestSpec(library="okhttp"), OFFLINE)
+        assert result.count_of(DefectKind.MISSED_TIMEOUT) == 1
+        assert report.sim_time_ms > 30_000  # the user stares for minutes
+
+    def test_fixed_timeout_bounds_the_hang(self):
+        result, report = scan_and_run(
+            RequestSpec(library="okhttp", with_timeout=True, timeout_ms=3000),
+            OFFLINE,
+        )
+        assert result.count_of(DefectKind.MISSED_TIMEOUT) == 0
+        assert report.sim_time_ms < 15_000
+
+    def test_clean_app_clean_run(self):
+        spec = RequestSpec(
+            library="basichttp",
+            connectivity=Connectivity.GUARDED,
+            with_timeout=True,
+            with_retry=True,
+            retry_value=2,
+            with_notification=Notification.TOAST,
+            with_response_check=True,
+        )
+        result, report = scan_and_run(spec, THREE_G)
+        assert not result.is_buggy
+        assert report.requests_succeeded == 1
+        assert not report.crashed
+
+
+class TestSerialisationStability:
+    def test_findings_stable_across_apkt_round_trip(self, small_corpus):
+        checker = NChecker()
+        for apk, _ in small_corpus[:8]:
+            before = checker.scan(apk).summary()
+            reloaded = loads_apk(dumps_apk(apk))
+            after = checker.scan(reloaded).summary()
+            assert before == after, apk.package
+
+
+class TestChatSecureMotivation:
+    """The paper's Fig 1 story: checking isConnected() does not make
+    login() safe under a *poor* network — only proper error handling does."""
+
+    def _chatsecure_app(self):
+        from repro.corpus.appbuilder import AppBuilder
+        from repro.ir import Local
+
+        app = AppBuilder("com.itest.chat")
+        activity = app.activity("MainActivity")
+        b = activity.method("onClick", params=[("android.view.View", "v")])
+        cm = b.new("android.net.ConnectivityManager", "cm")
+        ni = b.call(cm, "getActiveNetworkInfo", ret="ni")
+        with b.if_then("!=", Local("ni"), None):
+            # "Connected" — but the network may still be terrible.
+            conn = b.new("java.net.HttpURLConnection", "conn")
+            b.call(conn, "getInputStream", ret="stream")  # no try/catch!
+        b.ret()
+        activity.add(b)
+        return app.build()
+
+    def test_guard_passes_but_request_still_crashes_when_poor(self):
+        apk = self._chatsecure_app()
+        # The link is *up* (the guard passes) but drops most packets.
+        poor = LinkProfile("poor", bandwidth_kbps=780, rtt_ms=100, loss_rate=0.995)
+        report = Runtime(apk, poor, seed=11).run_entry(
+            "com.itest.chat.MainActivity", "onClick"
+        )
+        assert report.network_attempts > 0  # the guard let it through
+        assert report.crashed  # and the unhandled failure killed the app

@@ -1,0 +1,168 @@
+"""The hand-written sample apps in examples/apps/ must parse, scan, and
+show exactly the defects their comments promise."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import NChecker, load_apk
+from repro.core import DefectKind, NCheckerOptions
+from repro.libmodels import extended_registry
+
+APPS_DIR = Path(__file__).resolve().parent.parent / "examples" / "apps"
+
+
+@pytest.fixture(scope="module")
+def newsreader():
+    return load_apk(APPS_DIR / "newsreader.apkt")
+
+
+@pytest.fixture(scope="module")
+def uploader():
+    return load_apk(APPS_DIR / "uploader.apkt")
+
+
+@pytest.fixture(scope="module")
+def chatsecure():
+    return load_apk(APPS_DIR / "chatsecure_fig1.apkt")
+
+
+class TestAllParse:
+    def test_every_sample_parses(self):
+        files = sorted(APPS_DIR.glob("*.apkt"))
+        assert len(files) >= 3
+        for path in files:
+            apk = load_apk(path)
+            apk.validate()
+
+    def test_round_trip(self, newsreader):
+        from repro.app import dumps_apk, loads_apk
+
+        again = loads_apk(dumps_apk(newsreader))
+        assert dumps_apk(again) == dumps_apk(newsreader)
+
+
+class TestNewsreader:
+    def test_refresh_request_is_buggy(self, newsreader):
+        result = NChecker().scan(newsreader)
+        refresh = [
+            f for f in result.findings if f.method_key[1] == "onRefresh"
+        ]
+        kinds = {f.kind for f in refresh}
+        assert DefectKind.MISSED_CONNECTIVITY_CHECK in kinds
+        assert DefectKind.MISSED_NOTIFICATION in kinds
+        assert DefectKind.MISSED_ERROR_TYPE_CHECK in kinds
+        assert DefectKind.MISSED_RETRY in kinds
+
+    def test_search_request_is_clean(self, newsreader):
+        result = NChecker().scan(newsreader)
+        search = [
+            f
+            for f in result.findings
+            if f.method_key[1] == "onQueryTextSubmit"
+        ]
+        assert search == []
+
+    def test_both_requests_user_initiated(self, newsreader):
+        result = NChecker().scan(newsreader)
+        assert len(result.requests) == 2
+        assert all(r.user_initiated for r in result.requests)
+
+
+class TestUploader:
+    def test_post_over_retry_via_default(self, uploader):
+        result = NChecker().scan(uploader)
+        post = result.findings_of(DefectKind.OVER_RETRY_POST)
+        assert len(post) == 1
+        assert post[0].default_caused
+
+    def test_service_over_retry(self, uploader):
+        result = NChecker().scan(uploader)
+        assert result.count_of(DefectKind.OVER_RETRY_SERVICE) == 1
+
+    def test_service_misses_connectivity_and_response_check(self, uploader):
+        result = NChecker().scan(uploader)
+        service_findings = {
+            f.kind for f in result.findings if "SyncService" in f.method_key[0]
+        }
+        assert DefectKind.MISSED_CONNECTIVITY_CHECK in service_findings
+        assert DefectKind.MISSED_RESPONSE_CHECK in service_findings
+
+    def test_upload_notification_ok(self, uploader):
+        result = NChecker().scan(uploader)
+        upload_findings = {
+            f.kind
+            for f in result.findings
+            if f.method_key[0].endswith("UploadActivity")
+        }
+        assert DefectKind.MISSED_NOTIFICATION not in upload_findings
+        assert DefectKind.MISSED_CONNECTIVITY_CHECK not in upload_findings
+
+
+class TestMusicPlayer:
+    """Hand-written Fig 6(c) retry loop with the Telegram delay."""
+
+    @pytest.fixture(scope="class")
+    def musicplayer(self):
+        return load_apk(APPS_DIR / "musicplayer.apkt")
+
+    def test_aggressive_loop_detected(self, musicplayer):
+        result = NChecker().scan(musicplayer)
+        assert result.count_of(DefectKind.AGGRESSIVE_RETRY_LOOP) == 1
+        assert result.retry_loops[0].kind == "catch-dependent"
+        assert result.retry_loops[0].aggressive
+
+    def test_drains_battery_offline(self, musicplayer):
+        from repro.netsim import OFFLINE, Runtime
+
+        report = Runtime(musicplayer, OFFLINE, seed=7).run_entry(
+            "com.sample.musicplayer.PlayerActivity", "onClick"
+        )
+        assert report.battery_drain
+
+    def test_patches_clean(self, musicplayer):
+        from repro.core import Patcher
+        from repro.netsim import OFFLINE, Runtime
+
+        checker = NChecker()
+        fixed, applied = Patcher().patch_until_clean(musicplayer, checker)
+        assert applied
+        assert not checker.scan(fixed).findings
+        report = Runtime(fixed, OFFLINE, seed=7).run_entry(
+            "com.sample.musicplayer.PlayerActivity", "onClick"
+        )
+        assert not report.battery_drain
+
+
+class TestChatSecureFig1:
+    def _scan(self, apk):
+        options = NCheckerOptions(check_network_switch=True)
+        return NChecker(registry=extended_registry(), options=options).scan(apk)
+
+    def test_fig1_patch_is_still_buggy(self, chatsecure):
+        """The isConnected() guard does not make the login safe."""
+        result = self._scan(chatsecure)
+        kinds = {f.kind for f in result.findings}
+        assert DefectKind.NO_RECONNECT_ON_SWITCH in kinds
+        assert DefectKind.MISSED_CONNECTIVITY_CHECK in kinds  # no CM check
+        assert DefectKind.MISSED_NOTIFICATION in kinds  # login fails silently
+
+    def test_fig1_crashes_on_poor_network_at_runtime(self, chatsecure):
+        """The paper's caption: "Still fail when network is available but
+        very poor"."""
+        from repro.netsim import LinkProfile, Runtime
+
+        poor = LinkProfile("poor", bandwidth_kbps=780, rtt_ms=100, loss_rate=0.995)
+        report = Runtime(
+            chatsecure, poor, registry=extended_registry(), seed=11
+        ).run_entry("com.sample.chatsecure.LoginActivity", "onClick")
+        assert report.crashed
+        assert report.crash_type == "java.io.IOException"
+
+    def test_fig1_survives_good_network(self, chatsecure):
+        from repro.netsim import Runtime, WIFI
+
+        report = Runtime(
+            chatsecure, WIFI, registry=extended_registry(), seed=11
+        ).run_entry("com.sample.chatsecure.LoginActivity", "onClick")
+        assert not report.crashed

@@ -1,0 +1,97 @@
+"""User-study model tests (Fig 10 / Table 10)."""
+
+import pytest
+
+from repro.core.defects import DefectKind
+from repro.userstudy import N_PARTICIPANTS, STUDY_TASKS, run_study
+
+
+class TestTable10:
+    def test_seven_tasks(self):
+        assert len(STUDY_TASKS) == 7
+
+    def test_apps_match_paper(self):
+        apps = {t.app for t in STUDY_TASKS}
+        assert apps == {"AnkiDroid", "GPSLogger", "DevFest", "Maoshishu"}
+
+    def test_kinds_cover_diverse_causes(self):
+        kinds = {t.kind for t in STUDY_TASKS}
+        assert {
+            DefectKind.MISSED_CONNECTIVITY_CHECK,
+            DefectKind.MISSED_TIMEOUT,
+            DefectKind.MISSED_RETRY,
+            DefectKind.MISSED_NOTIFICATION,
+            DefectKind.MISSED_RESPONSE_CHECK,
+            DefectKind.OVER_RETRY_POST,
+        } <= kinds
+
+    def test_retried_exception_task_excluded_from_timing(self):
+        excluded = [t for t in STUDY_TASKS if not t.in_timing_figure]
+        assert len(excluded) == 1
+        assert "retried exception" in excluded[0].name
+
+    def test_every_task_has_fix_text(self):
+        for task in STUDY_TASKS:
+            assert task.correct_fix
+
+
+class TestFig10:
+    def test_default_twenty_participants(self):
+        study = run_study(seed=1)
+        assert all(len(t.times_minutes) == N_PARTICIPANTS for t in study.tasks)
+
+    def test_overall_mean_close_to_paper(self):
+        """Paper: 1.7 ± 0.14 minutes."""
+        study = run_study(seed=2016)
+        assert study.overall_mean == pytest.approx(1.7, abs=0.35)
+        assert study.overall_ci95 == pytest.approx(0.14, abs=0.10)
+
+    def test_all_tasks_under_four_minutes(self):
+        """Fig 10's y-axis tops out at 4 minutes."""
+        study = run_study(seed=2016)
+        for task in study.timing_tasks():
+            assert task.mean < 4.0
+
+    def test_over_retry_is_fastest(self):
+        """Fix ranking: 'set retries to 0' is the quickest fix."""
+        study = run_study(seed=2016)
+        timing = study.timing_tasks()
+        fastest = min(timing, key=lambda t: t.mean)
+        assert "over retry" in fastest.task.name
+
+    def test_retried_exception_rarely_solved(self):
+        """Paper: only one volunteer could set the exception class."""
+        study = run_study(seed=2016)
+        hard = next(t for t in study.tasks if not t.task.in_timing_figure)
+        assert hard.solved <= 3
+
+    def test_deterministic_per_seed(self):
+        assert run_study(seed=5).overall_mean == run_study(seed=5).overall_mean
+
+    def test_ci_shrinks_with_more_participants(self):
+        small = run_study(seed=3, n_participants=10)
+        large = run_study(seed=3, n_participants=200)
+        assert large.overall_ci95 < small.overall_ci95
+
+
+class TestControlArm:
+    """The arm the paper did not run: fixing without NChecker's reports."""
+
+    def test_reports_make_fixes_much_faster(self):
+        with_reports = run_study(seed=2016)
+        without = run_study(seed=2016, with_reports=False)
+        assert without.overall_mean > 4 * with_reports.overall_mean
+
+    def test_reports_raise_solve_rates(self):
+        with_reports = run_study(seed=2016)
+        without = run_study(seed=2016, with_reports=False)
+        solved_with = sum(t.solved for t in with_reports.tasks)
+        solved_without = sum(t.solved for t in without.tasks)
+        assert solved_with > solved_without
+
+    def test_hard_task_stays_hard_either_way(self):
+        """The 'retried exception' task needs domain knowledge the report
+        cannot supply — solve rates are poor in both arms."""
+        for arm in (run_study(seed=1), run_study(seed=1, with_reports=False)):
+            hard = next(t for t in arm.tasks if not t.task.in_timing_figure)
+            assert hard.solved <= 4
