@@ -26,17 +26,23 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     options = NCheckerOptions(
         guard_aware_connectivity=args.guard_aware,
         interprocedural_connectivity=not args.intraprocedural,
+        summary_based=not args.no_summaries,
     )
     checker = NChecker(options=options)
     exit_code = 0
     json_payload = []
+    sarif_results, sarif_uris = [], []
     for path in args.apps:
         apk = _load_or_die(path)
         result = checker.scan(apk)
+        if result.is_buggy:
+            exit_code = 1
+        if args.sarif:
+            sarif_results.append(result)
+            sarif_uris.append(Path(path).as_posix())
         if args.json:
             json_payload.append(result.to_dict())
-            if result.is_buggy:
-                exit_code = 1
+        if args.json or args.sarif:
             continue
         print(f"== {apk.package}: {len(result.findings)} NPD(s), "
               f"{len(result.requests)} request(s) ==")
@@ -52,12 +58,22 @@ def _cmd_scan(args: argparse.Namespace) -> int:
             for report in result.reports():
                 print(report.render())
                 print()
-        if result.is_buggy:
-            exit_code = 1
     if args.json:
         import json
 
         print(json.dumps(json_payload, indent=2))
+    if args.sarif:
+        from .eval.sarif import dumps_sarif
+
+        try:
+            Path(args.sarif).write_text(dumps_sarif(sarif_results, sarif_uris))
+        except OSError as exc:
+            print(f"error: cannot write SARIF log to {args.sarif}: {exc}",
+                  file=sys.stderr)
+            return 2
+        # Keep stdout pure JSON when --json streams the payload there.
+        print(f"wrote SARIF log for {len(sarif_results)} app(s) to {args.sarif}",
+              file=sys.stderr if args.json else sys.stdout)
     return exit_code
 
 
@@ -215,6 +231,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     scan.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    scan.add_argument(
+        "--sarif", metavar="FILE",
+        help="write findings as a SARIF 2.1.0 log to FILE",
+    )
+    scan.add_argument(
+        "--no-summaries", action="store_true",
+        help="disable the interprocedural summary engine (legacy "
+        "horizon-limited analyses; ablation baseline)",
     )
     scan.add_argument(
         "--stats", action="store_true", help="also print app code metrics"

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..app.apk import APK
+from ..dataflow.summaries import SummaryCache
 from ..libmodels import default_registry
 from ..libmodels.annotations import LibraryRegistry
 from .checks.config_apis import ConfigAPICheck, RequestConfigInfo
@@ -23,7 +24,7 @@ from .checks.retry_params import RetryParameterCheck
 from .defects import DefectKind
 from .findings import Finding
 from .report import WarningReport, build_report
-from .requests import AnalysisContext, NetworkRequest, find_requests
+from .requests import AnalysisContext, NetworkRequest, RequestLocation, find_requests
 from .retry_loops import RetryLoop, identify_retry_loops
 
 
@@ -41,6 +42,17 @@ class NCheckerOptions:
     guard_aware_connectivity: bool = False
     interprocedural_connectivity: bool = True
     detect_retry_loops: bool = True
+    #: Use the interprocedural summary engine (`repro.dataflow.summaries`)
+    #: for the §4.4 analyses: config taint climbs caller chains to the
+    #: client's allocation, response obligations propagate through
+    #: arbitrarily deep returns, and notification/connectivity facts are
+    #: transitive over the call graph.  ``False`` is the ablation
+    #: baseline: the seed's horizon-limited paths (one caller hop for
+    #: config, one return hop for responses, ``notification_callee_depth``
+    #: for UI sinks).
+    summary_based: bool = True
+    #: Callee search depth for the *legacy* notification walk; ignored
+    #: when ``summary_based`` is on (the summary facts are transitive).
     notification_callee_depth: int = 2
     #: Enable the experimental network-switch analysis (paper Cause 4,
     #: which the original tool could not check — §4.2).  Needs a registry
@@ -65,8 +77,10 @@ class ScanResult:
     requests: list[NetworkRequest]
     findings: list[Finding]
     retry_loops: list[RetryLoop]
-    config_info: dict[int, RequestConfigInfo] = field(default_factory=dict)
-    notification_info: dict[int, NotificationInfo] = field(default_factory=dict)
+    config_info: dict[RequestLocation, RequestConfigInfo] = field(default_factory=dict)
+    notification_info: dict[RequestLocation, NotificationInfo] = field(
+        default_factory=dict
+    )
 
     @property
     def package(self) -> str:
@@ -84,10 +98,10 @@ class ScanResult:
         return len(self.findings_of(*kinds))
 
     def config_of(self, request: NetworkRequest) -> Optional[RequestConfigInfo]:
-        return self.config_info.get(id(request))
+        return self.config_info.get(request.loc)
 
     def notification_of(self, request: NetworkRequest) -> Optional[NotificationInfo]:
-        return self.notification_info.get(id(request))
+        return self.notification_info.get(request.loc)
 
     def libraries_used(self) -> set[str]:
         return {r.library.key for r in self.requests}
@@ -143,18 +157,24 @@ class NChecker:
     ) -> None:
         self.registry = registry or default_registry()
         self.options = options
+        #: Per-APK interprocedural summaries, reused across repeat scans
+        #: of the same (structurally unchanged) app.
+        self.summary_cache = SummaryCache()
 
     def scan(self, apk: APK) -> ScanResult:
         """Run all enabled analyses over one app."""
         ctx = AnalysisContext.build(apk, self.registry)
+        if self.options.summary_based:
+            ctx.summaries = self.summary_cache.engine_for(
+                apk, ctx.callgraph, self.registry, ctx.cache
+            )
         requests = find_requests(ctx)
 
         retry_loops: list[RetryLoop] = []
         if self.options.detect_retry_loops:
             retry_loops = identify_retry_loops(ctx, requests)
-        # The config check reads the loops off the context (kept loose to
-        # avoid a hard dependency cycle between the two analyses).
-        ctx.retry_loops = retry_loops  # type: ignore[attr-defined]
+        # The config check reads the loops off the context.
+        ctx.retry_loops = retry_loops
 
         findings: list[Finding] = []
         opts = self.options

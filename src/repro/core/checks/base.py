@@ -24,7 +24,8 @@ def methods_invoking(
 ) -> set[MethodKey]:
     """Closure of app methods that (transitively) invoke a call site
     matching ``predicate`` — used to treat ``isNetworkOnline()``-style app
-    helpers as the checks they wrap."""
+    helpers as the checks they wrap.  Legacy path: in summary mode the
+    checks read the equivalent memoized fact off ``ctx.summaries``."""
     direct: set[MethodKey] = set()
     for key, method in ctx.callgraph.methods.items():
         for _idx, invoke in method.invoke_sites():

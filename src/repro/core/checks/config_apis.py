@@ -8,9 +8,16 @@ never set.  It also resolves the *values* passed to retry/timeout config
 APIs via constant propagation; the improper-parameter check consumes
 those.
 
-When the config object is held in a field or arrives as a parameter, the
-collection widens to the enclosing class and the chain's caller frames —
-the pragmatic stand-in for FlowDroid's interprocedural taint.
+In the default summary-based mode (``NCheckerOptions.summary_based``)
+the backward propagation is genuinely interprocedural: when the config
+object arrives as a parameter, the analysis climbs the caller chain —
+however deep — until it reaches the frame that allocates the client, and
+in every frame it additionally consults the summary engine for config
+calls made inside callees the object is passed to.  The legacy mode
+(``summary_based=False``, the ablation baseline) instead widens one
+caller hop and treats deeper parameters as tainted throughout the
+caller.  Field-held config objects widen to the enclosing class in both
+modes (no heap model, matching the paper).
 """
 
 from __future__ import annotations
@@ -18,7 +25,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ...callgraph.entrypoints import MethodKey, method_key
+from ...dataflow.configvalues import config_call_values
 from ...dataflow.constants import ConstantPropagation
+from ...dataflow.summaries import CONFIG_TOP, RECEIVER
 from ...dataflow.taint import ForwardTaint, trace_origins
 from ...ir.method import IRMethod
 from ...ir.statements import AssignStmt
@@ -26,7 +36,7 @@ from ...ir.values import InvokeExpr, Local, NewExpr
 from ...libmodels.annotations import ConfigAPI, ConfigKind
 from ..defects import DefectKind
 from ..findings import Finding, context_of
-from ..requests import AnalysisContext, NetworkRequest
+from ..requests import AnalysisContext, NetworkRequest, RequestLocation
 from ..retry_loops import RetryLoop
 
 
@@ -61,17 +71,17 @@ class ConfigAPICheck:
     def __init__(self, widen_to_class: bool = True) -> None:
         self.widen_to_class = widen_to_class
         #: Populated by run(); the retry-parameter check reads it.
-        self.info_by_request: dict[int, RequestConfigInfo] = {}
+        self.info_by_request: dict[RequestLocation, RequestConfigInfo] = {}
 
     def run(
         self, ctx: AnalysisContext, requests: list[NetworkRequest]
     ) -> list[Finding]:
         findings: list[Finding] = []
-        retry_loops = getattr(ctx, "retry_loops", [])
+        retry_loops = ctx.retry_loops
         for request in requests:
             info = self._collect(ctx, request)
             info.custom_retry_loop = _loop_covering(retry_loops, request)
-            self.info_by_request[id(request)] = info
+            self.info_by_request[request.loc] = info
             findings.extend(self._findings_for(ctx, request, info))
         return findings
 
@@ -129,11 +139,83 @@ class ConfigAPICheck:
         self._scan_method(ctx, request, method, taint, constants, info)
 
         if param_names:
-            self._scan_callers_for_params(ctx, request, param_names, info)
+            if ctx.summaries is not None:
+                self._scan_callers_transitive(ctx, request, param_names, info)
+            else:
+                self._scan_callers_for_params(ctx, request, param_names, info)
         if field_widened and self.widen_to_class:
             self._scan_widened(ctx, request, info)
         self._apply_defaults(info)
         return info
+
+    def _scan_callers_transitive(
+        self,
+        ctx: AnalysisContext,
+        request: NetworkRequest,
+        param_names: set[str],
+        info: RequestConfigInfo,
+    ) -> None:
+        """Summary mode: the config object arrives as a parameter, so the
+        paper's backward propagation continues into the callers — through
+        arbitrarily many frames — until the frame that allocates the
+        client is reached.  In every frame the object's aliases are
+        taint-tracked from their local definitions (or from entry, when
+        the frame received it as a parameter too), and config calls on
+        them are collected with the usual discipline, including — via the
+        summary engine — calls made inside callees the frame passes the
+        object to."""
+        visited: set[tuple[MethodKey, str]] = {
+            (request.key, name) for name in param_names
+        }
+        worklist: list[tuple[MethodKey, frozenset[str]]] = [
+            (request.key, frozenset(param_names))
+        ]
+        while worklist:
+            key, names = worklist.pop()
+            callee = ctx.callgraph.methods.get(key)
+            if callee is None:
+                continue
+            positions = {
+                p.name: i for i, p in enumerate(callee.params) if p.name in names
+            }
+            for edge in ctx.callgraph.callers(key):
+                caller = ctx.callgraph.methods.get(edge.caller)
+                if caller is None:
+                    continue
+                site = edge.stmt_index
+                invoke = caller.statements[site].invoke()
+                if invoke is None:
+                    continue
+                caller_cfg = ctx.cache.cfg(caller)
+                caller_defuse = ctx.cache.defuse(caller)
+                seeds: set[tuple[int, str]] = set()
+                escalate: set[str] = set()
+                for position in positions.values():
+                    if position >= len(invoke.args):
+                        continue
+                    arg = invoke.args[position]
+                    if not isinstance(arg, Local):
+                        continue
+                    for origin in trace_origins(
+                        caller_cfg, site, arg.name, caller_defuse
+                    ):
+                        if origin >= 0:
+                            seeds.add((origin, arg.name))
+                        else:
+                            # The caller received it as a parameter too:
+                            # track it from entry here and keep climbing.
+                            seeds.add((-1, arg.name))
+                            escalate.add(arg.name)
+                if seeds:
+                    taint = ForwardTaint(caller_cfg, seeds)
+                    constants = ConstantPropagation(caller_cfg)
+                    self._scan_method(ctx, request, caller, taint, constants, info)
+                fresh = {
+                    name for name in escalate if (edge.caller, name) not in visited
+                }
+                if fresh:
+                    visited.update((edge.caller, name) for name in fresh)
+                    worklist.append((edge.caller, frozenset(fresh)))
 
     def _scan_callers_for_params(
         self,
@@ -142,9 +224,9 @@ class ConfigAPICheck:
         param_names: set[str],
         info: RequestConfigInfo,
     ) -> None:
-        """The config object arrives as a parameter: inspect each caller's
-        corresponding argument with the same taint discipline (a one-level
-        stand-in for FlowDroid's interprocedural propagation)."""
+        """Legacy (``summary_based=False``) ablation baseline: the config
+        object arrives as a parameter, and only one caller level is
+        inspected — deeper frames degrade to a whole-caller widening."""
         method = request.method
         param_positions = {
             p.name: i for i, p in enumerate(method.params) if p.name in param_names
@@ -190,6 +272,10 @@ class ConfigAPICheck:
         for idx, invoke in method.invoke_sites():
             found = ctx.registry.find_config(invoke)
             if found is None:
+                if taint is not None and ctx.summaries is not None:
+                    self._merge_callee_effects(
+                        ctx, request, method, idx, invoke, taint, info
+                    )
                 continue
             lib, config = found
             if lib.key != request.library.key:
@@ -199,6 +285,61 @@ class ConfigAPICheck:
             info.config_sites.append((idx, config))
             info.satisfied.update(config.satisfies)
             self._record_values(ctx, method, idx, invoke, config, constants, info)
+
+    def _merge_callee_effects(
+        self,
+        ctx: AnalysisContext,
+        request: NetworkRequest,
+        method: IRMethod,
+        idx: int,
+        invoke: InvokeExpr,
+        taint: ForwardTaint,
+        info: RequestConfigInfo,
+    ) -> None:
+        """Summary mode: the frame passes a tainted object into an app
+        callee — fold the callee's transitive config effects into the
+        request's info (the forward half of interprocedural propagation)."""
+        engine = ctx.summaries
+        assert engine is not None
+        key = method_key(method)
+        callee = engine.direct_callee_at(key, idx)
+        if callee is None:
+            return
+        callee_method = ctx.callgraph.methods.get(callee)
+        if callee_method is None:
+            return
+        tainted = taint.tainted_before(idx)
+        positions: list[int] = []
+        if (
+            invoke.base is not None
+            and invoke.base.name in tainted
+            and not callee_method.is_static
+        ):
+            positions.append(RECEIVER)
+        for i, arg in enumerate(invoke.args):
+            if (
+                isinstance(arg, Local)
+                and arg.name in tainted
+                and i < len(callee_method.params)
+            ):
+                positions.append(i)
+        for pos in positions:
+            effects = engine.config_effects(callee, pos)
+            if effects is CONFIG_TOP:
+                # Recursive cycle: assume configured (no-false-alarm ⊤).
+                info.satisfied.update((ConfigKind.TIMEOUT, ConfigKind.RETRY))
+                continue
+            for effect in effects:
+                if effect.lib_key != request.library.key:
+                    continue
+                info.config_sites.append((effect.stmt_index, effect.config))
+                info.satisfied.update(effect.config.satisfies)
+                if effect.retries is not None:
+                    info.retries = effect.retries
+                    info.retries_from_default = False
+                if effect.timeout_ms is not None:
+                    info.timeout_ms = effect.timeout_ms
+                    info.timeout_from_default = False
 
     @staticmethod
     def _touches_taint(invoke: InvokeExpr, taint: ForwardTaint, idx: int) -> bool:
@@ -238,87 +379,18 @@ class ConfigAPICheck:
         info: RequestConfigInfo,
     ) -> None:
         """Resolve retry counts / timeout values from config call arguments
-        (constant propagation — paper §4.4.2)."""
-        if ConfigKind.RETRY in config.satisfies:
-            value = self._retry_value(ctx, method, idx, invoke, config, constants, info)
-            if value is not None:
-                info.retries = value
-                info.retries_from_default = False
-        if ConfigKind.TIMEOUT in config.satisfies and config.kind is ConfigKind.TIMEOUT:
-            if config.param_index < len(invoke.args):
-                value = constants.constant_argument(
-                    idx, invoke.args[config.param_index]
-                )
-                if isinstance(value, int):
-                    info.timeout_ms = value
-                    info.timeout_from_default = False
-
-    def _retry_value(
-        self, ctx, method, idx, invoke, config, constants, info
-    ) -> Optional[int]:
-        name = invoke.sig.name
-        if name in ("setMaxRetries", "setMaxRetriesAndTimeout"):
-            if invoke.args:
-                value = constants.constant_argument(idx, invoke.args[0])
-                if isinstance(value, int):
-                    return value
-            return None
-        if name == "setRetryOnConnectionFailure":
-            if invoke.args:
-                value = constants.constant_argument(idx, invoke.args[0])
-                if isinstance(value, bool):
-                    return 1 if value else 0
-            return None
-        if name == "setRetryPolicy":
-            return self._policy_retries(ctx, method, idx, invoke, constants, info)
-        if name == "setHttpRequestRetryHandler":
-            handler = self._ctor_constant(ctx, method, idx, invoke, constants, 0)
-            # Apache's DefaultHttpRequestRetryHandler() retries 3 times when
-            # installed without an explicit count.
-            return handler if handler is not None else 3
-        return None
-
-    def _policy_retries(self, ctx, method, idx, invoke, constants, info) -> Optional[int]:
-        """Volley: setRetryPolicy(new DefaultRetryPolicy(timeout, retries,
-        backoff)) — retries is ctor argument 1; the timeout (argument 0) is
-        recorded on ``info`` as a side effect."""
-        timeout = self._ctor_constant(ctx, method, idx, invoke, constants, 0)
-        if timeout is not None:
-            info.timeout_ms = timeout
+        (constant propagation — paper §4.4.2; shared with the summary
+        engine via `repro.dataflow.configvalues`)."""
+        values = config_call_values(
+            method, idx, invoke, config,
+            ctx.cache.cfg(method), ctx.cache.defuse(method), constants,
+        )
+        if values.retries is not None:
+            info.retries = values.retries
+            info.retries_from_default = False
+        if values.timeout_ms is not None:
+            info.timeout_ms = values.timeout_ms
             info.timeout_from_default = False
-        return self._ctor_constant(ctx, method, idx, invoke, constants, 1)
-
-    def _ctor_constant(
-        self, ctx, method, idx, invoke, constants, ctor_arg_index: int
-    ) -> Optional[int]:
-        """Resolve argument ``ctor_arg_index`` of the constructor of the
-        object passed as the config call's first argument (the
-        policy/handler-object indirection both Volley and Apache use)."""
-        if not invoke.args or not isinstance(invoke.args[0], Local):
-            return None
-        cfg = ctx.cache.cfg(method)
-        defuse = ctx.cache.defuse(method)
-        for origin in trace_origins(cfg, idx, invoke.args[0].name, defuse):
-            if origin < 0:
-                continue
-            stmt = method.statements[origin]
-            if not (isinstance(stmt, AssignStmt) and isinstance(stmt.value, NewExpr)):
-                continue
-            for ctor_idx in range(origin + 1, len(method.statements)):
-                ctor = method.statements[ctor_idx].invoke()
-                if (
-                    ctor is not None
-                    and ctor.is_constructor
-                    and ctor.base == stmt.target
-                ):
-                    if len(ctor.args) > ctor_arg_index:
-                        value = constants.constant_argument(
-                            ctor_idx, ctor.args[ctor_arg_index]
-                        )
-                        if isinstance(value, int):
-                            return value
-                    break
-        return None
 
     def _apply_defaults(self, info: RequestConfigInfo) -> None:
         defaults = info.request.library.defaults

@@ -52,11 +52,15 @@ class ConnectivityCheck:
     def run(
         self, ctx: AnalysisContext, requests: list[NetworkRequest]
     ) -> list[Finding]:
-        checker_methods = (
-            methods_invoking(ctx, is_connectivity_check)
-            if self.interprocedural
-            else set()
-        )
+        checker_methods: set[MethodKey] = set()
+        if self.interprocedural:
+            if ctx.summaries is not None:
+                # Summary mode: the engine's memoized transitive fact —
+                # computed once per app, shared across checks and repeat
+                # scans — replaces the private callers-of fixpoint.
+                checker_methods = ctx.summaries.connectivity_methods()
+            else:
+                checker_methods = methods_invoking(ctx, is_connectivity_check)
         findings: list[Finding] = []
         for request in requests:
             unguarded = self._unguarded_chains(ctx, request, checker_methods)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ...callgraph.cha import EDGE_LIB_CALLBACK
-from ...callgraph.entrypoints import MethodKey
+from ...callgraph.entrypoints import MethodKey, method_key
 from ...ir.method import IRMethod
 from ...libmodels.android import (
     is_handler_notification,
@@ -31,7 +31,7 @@ from ...libmodels.android import (
 from ...libmodels.annotations import CallbackRole
 from ..defects import DefectKind
 from ..findings import Finding, context_of
-from ..requests import AnalysisContext, NetworkRequest
+from ..requests import AnalysisContext, NetworkRequest, RequestLocation
 
 
 @dataclass
@@ -54,13 +54,16 @@ class NotificationCheck:
     name = "failure-notification"
 
     def __init__(self, callee_depth: int = 2, icc_model=None) -> None:
+        #: Callee search depth for the *legacy* walk; in summary mode
+        #: (``ctx.summaries`` set) the engine's transitive facts are used
+        #: instead and this knob is ignored.
         self.callee_depth = callee_depth
         #: Optional :class:`repro.callgraph.icc.ICCModel`: when present and
         #: the app routes broadcast errors to a UI-displaying component,
         #: ``sendBroadcast`` in an error path counts as a notification —
         #: closing the paper's notification FP class (§5.3).
         self.icc_model = icc_model
-        self.info_by_request: dict[int, NotificationInfo] = {}
+        self.info_by_request: dict[RequestLocation, NotificationInfo] = {}
 
     def _is_broadcast_notification(self, invoke) -> bool:
         if self.icc_model is None or not self.icc_model.broadcasts_displayed:
@@ -81,7 +84,7 @@ class NotificationCheck:
             if not request.user_initiated:
                 continue
             info = self._analyse(ctx, request)
-            self.info_by_request[id(request)] = info
+            self.info_by_request[request.loc] = info
             if not info.notified:
                 findings.append(
                     Finding(
@@ -130,7 +133,7 @@ class NotificationCheck:
             method = ctx.callgraph.methods.get(key)
             if method is None:
                 continue
-            direct, via_handler = self._search_ui(ctx, method, self.callee_depth)
+            direct, via_handler = self._method_notifies(ctx, method)
             if direct or via_handler:
                 info.notified = True
                 info.notified_via_handler = via_handler and not direct
@@ -142,7 +145,7 @@ class NotificationCheck:
             # AsyncTask shape (Fig 5): doInBackground's failures surface in
             # onPostExecute; blocking calls surface in their catch blocks.
             for method in self._implicit_handlers(ctx, request):
-                direct, via_handler = self._search_ui(ctx, method, self.callee_depth)
+                direct, via_handler = self._method_notifies(ctx, method)
                 if direct or via_handler:
                     info.notified = True
                     info.notified_via_handler = via_handler and not direct
@@ -153,6 +156,25 @@ class NotificationCheck:
                     info.notified = True
                     info.notified_via_handler = via_handler and not direct
         return info
+
+    def _method_notifies(
+        self, ctx: AnalysisContext, method: IRMethod
+    ) -> tuple[bool, bool]:
+        """(direct UI notification, Handler-mediated notification) reachable
+        from ``method``: the engine's transitive facts in summary mode, the
+        legacy depth-limited walk otherwise."""
+        engine = ctx.summaries
+        if engine is None:
+            return self._search_ui(ctx, method, self.callee_depth)
+        key = method_key(method)
+        direct = engine.notifies_ui(key)
+        if (
+            not direct
+            and self.icc_model is not None
+            and self.icc_model.broadcasts_displayed
+        ):
+            direct = engine.sends_broadcast(key)
+        return direct, engine.notifies_via_handler(key)
 
     def _error_callbacks(self, ctx: AnalysisContext, request: NetworkRequest):
         """Library error-callback methods registered at the request site."""
@@ -218,6 +240,14 @@ class NotificationCheck:
                         direct = True
                     elif is_handler_notification(invoke):
                         via_handler = True
+                    elif ctx.summaries is not None:
+                        callee = self._app_callee(ctx, invoke)
+                        if callee is not None:
+                            sub_direct, sub_handler = self._method_notifies(
+                                ctx, callee
+                            )
+                            direct = direct or sub_direct
+                            via_handler = via_handler or sub_handler
                     elif self.callee_depth > 0:
                         callee = self._app_callee(ctx, invoke)
                         if callee is not None:
@@ -235,8 +265,9 @@ class NotificationCheck:
     def _search_ui(
         self, ctx: AnalysisContext, method: IRMethod, depth: int
     ) -> tuple[bool, bool]:
-        """(direct UI notification, Handler-mediated notification) found in
-        ``method`` or its app callees up to ``depth``."""
+        """Legacy (``summary_based=False``) walk: (direct UI notification,
+        Handler-mediated notification) found in ``method`` or its app
+        callees up to ``depth``."""
         direct = False
         via_handler = False
         for _idx, invoke in method.invoke_sites():

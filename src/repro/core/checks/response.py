@@ -12,6 +12,13 @@ or a null-test branch over one.
 
 The path condition is computed exactly: delete the check statements from
 the CFG and ask whether the use is still reachable from the definition.
+
+When the unchecked response *escapes* to callers via return, the
+checking obligation travels with it.  In summary mode
+(``NCheckerOptions.summary_based``) the analysis follows the return
+chain through arbitrarily many frames — a frame that validates the value
+before returning it discharges the obligation; the legacy ablation mode
+inspects a single caller hop.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from typing import Optional
 from ...cfg.graph import CFG
 from ...dataflow.taint import ForwardTaint
 from ...ir.method import IRMethod
-from ...ir.statements import IfStmt
+from ...ir.statements import IfStmt, ReturnStmt
 from ...ir.values import Const, Local
 from ..defects import DefectKind
 from ..findings import Finding, context_of
@@ -50,8 +57,8 @@ class ResponseCheck:
             )
             if unchecked is None:
                 # The response may *escape* to callers via return — the
-                # checking obligation travels with it (one-hop stand-in
-                # for FlowDroid's interprocedural taint).
+                # checking obligation travels with it (transitively in
+                # summary mode, one hop in the legacy ablation mode).
                 unchecked = self._escaped_unchecked_use(
                     ctx, request, method, def_index, response_local
                 )
@@ -86,35 +93,80 @@ class ResponseCheck:
         response_local: Local,
     ) -> Optional[tuple[IRMethod, int]]:
         """When the (tainted, unchecked) response is returned to a caller,
-        repeat the path check on the caller's call-result local."""
-        from ...ir.statements import ReturnStmt
+        repeat the path check on the caller's call-result local.  Summary
+        mode follows the return chain transitively; intermediate frames
+        that validate the value before returning it discharge the
+        obligation (check-avoiding-path test), so deeper frames only
+        propagate genuinely unchecked escapes."""
+        transitive = ctx.summaries is not None
+        visited: set[tuple[tuple[str, str, int], int, str]] = set()
+        # (frame, def index, local, depth): depth 0 is the response's own
+        # frame and uses the legacy escape predicate for parity.
+        worklist: list[tuple[IRMethod, int, Local, int]] = [
+            (method, def_index, response_local, 0)
+        ]
+        while worklist:
+            frame, d, local, depth = worklist.pop()
+            key = (frame.class_name, frame.name, frame.sig.arity)
+            if (key, d, local.name) in visited:
+                continue
+            visited.add((key, d, local.name))
+            escapes = (
+                self._returns_tainted(ctx, frame, d, local)
+                if depth == 0
+                else self._returns_unchecked(ctx, frame, d, local)
+            )
+            if not escapes:
+                continue
+            for edge in ctx.callgraph.callers(key):
+                caller = ctx.callgraph.methods.get(edge.caller)
+                if caller is None:
+                    continue
+                stmt = caller.statements[edge.stmt_index]
+                targets = stmt.defs()
+                if not targets:
+                    continue
+                use = self._first_unchecked_use(
+                    ctx, caller, edge.stmt_index, targets[0]
+                )
+                if use is not None:
+                    return use
+                if transitive:
+                    worklist.append((caller, edge.stmt_index, targets[0], depth + 1))
+        return None
 
+    def _returns_tainted(
+        self, ctx: AnalysisContext, method: IRMethod, def_index: int, local: Local
+    ) -> bool:
+        """The tainted value may reach a return statement at all."""
         cfg = ctx.cache.cfg(method)
-        seeds = {(def_index, response_local.name)}
-        taint = ForwardTaint(cfg, seeds)
-        returns_tainted = any(
+        taint = ForwardTaint(cfg, {(def_index, local.name)})
+        return any(
             isinstance(stmt, ReturnStmt)
             and isinstance(stmt.value, Local)
             and stmt.value.name in taint.tainted_before(idx)
             for idx, stmt in enumerate(method.statements)
         )
-        if not returns_tainted:
-            return None
-        method_key = (method.class_name, method.name, method.sig.arity)
-        for edge in ctx.callgraph.callers(method_key):
-            caller = ctx.callgraph.methods.get(edge.caller)
-            if caller is None:
-                continue
-            stmt = caller.statements[edge.stmt_index]
-            targets = stmt.defs()
-            if not targets:
-                continue
-            use = self._first_unchecked_use(
-                ctx, caller, edge.stmt_index, targets[0]
-            )
-            if use is not None:
-                return use
-        return None
+
+    def _returns_unchecked(
+        self, ctx: AnalysisContext, method: IRMethod, def_index: int, local: Local
+    ) -> bool:
+        """The tainted value may reach a return statement on a path that
+        avoids every validity check — the condition for propagating the
+        obligation past an intermediate frame."""
+        cfg = ctx.cache.cfg(method)
+        taint = ForwardTaint(cfg, {(def_index, local.name)})
+        check_nodes = self._check_nodes(ctx, method, taint)
+        start = def_index if def_index >= 0 else cfg.entry
+        reachable = self._reachable_avoiding(cfg, start, check_nodes)
+        reachable.add(start)
+        return any(
+            isinstance(stmt, ReturnStmt)
+            and isinstance(stmt.value, Local)
+            and idx in reachable
+            and stmt.value.name in taint.tainted_before(idx)
+            for idx, stmt in enumerate(method.statements)
+        )
 
     # ------------------------------------------------------------------
 

@@ -38,7 +38,7 @@ class RetryParameterCheck:
     ) -> list[Finding]:
         findings: list[Finding] = []
         for request in requests:
-            info = self._config_check.info_by_request.get(id(request))
+            info = self._config_check.info_by_request.get(request.loc)
             if info is None:
                 continue
             if request.library.has_retry_api:
@@ -102,8 +102,7 @@ class RetryParameterCheck:
         """One finding per aggressive customized retry loop (the Telegram
         shape), attributed to a covering request when one exists."""
         findings: list[Finding] = []
-        loops = getattr(ctx, "retry_loops", [])
-        for loop in loops:
+        for loop in ctx.retry_loops:
             if not loop.aggressive:
                 continue
             covering = next(

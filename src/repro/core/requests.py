@@ -15,7 +15,7 @@ request NChecker needs:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..app.apk import APK
 from ..callgraph.cha import CallGraph
@@ -35,6 +35,15 @@ from ..libmodels.annotations import (
 )
 from ..libmodels.volley import VOLLEY_METHOD_CODES
 
+if TYPE_CHECKING:
+    from ..dataflow.summaries import SummaryEngine
+    from .retry_loops import RetryLoop
+
+#: A stable request identity: the enclosing method plus the statement
+#: index of the call site.  Survives request copies and serialization,
+#: unlike ``id(request)``.
+RequestLocation = tuple[MethodKey, int]
+
 #: Apache request-object classes → HTTP method.
 _APACHE_REQUEST_CLASSES: dict[str, HttpMethod] = {
     "org.apache.http.client.methods.HttpGet": HttpMethod.GET,
@@ -53,6 +62,12 @@ class AnalysisContext:
     registry: LibraryRegistry
     callgraph: CallGraph
     cache: MethodAnalysisCache
+    #: Customized retry loops (§4.5), populated by the orchestrator so the
+    #: config-API check can credit hand-rolled retry logic.
+    retry_loops: list["RetryLoop"] = field(default_factory=list)
+    #: The interprocedural summary engine (``NCheckerOptions.summary_based``);
+    #: ``None`` runs the checks on their legacy horizon-limited paths.
+    summaries: Optional["SummaryEngine"] = None
 
     @classmethod
     def build(cls, apk: APK, registry: LibraryRegistry) -> "AnalysisContext":
@@ -76,6 +91,11 @@ class NetworkRequest:
     @property
     def key(self) -> MethodKey:
         return method_key(self.method)
+
+    @property
+    def loc(self) -> RequestLocation:
+        """Stable identity of this request's call site."""
+        return (self.key, self.stmt_index)
 
     @property
     def entries(self) -> list[EntryPoint]:

@@ -9,17 +9,41 @@ from .reaching import DefUseChains, ReachingDefinitions
 from .slicing import Slicer
 from .taint import ForwardTaint, TaintPolicy, trace_origins
 
+# Imported last: the summary engine sits on top of the call graph, whose
+# modules import the analyses above.
+from .configvalues import ConfigCallValues, config_call_values
+from .summaries import (
+    CONFIG_TOP,
+    ConfigEffect,
+    MethodSummary,
+    RECEIVER,
+    SummaryCache,
+    SummaryEngine,
+    SummaryStats,
+    apk_fingerprint,
+)
+
 __all__ = [
     "BOTTOM",
+    "CONFIG_TOP",
+    "ConfigCallValues",
+    "ConfigEffect",
     "ConstantPropagation",
     "DataflowAnalysis",
     "DefUseChains",
     "ForwardTaint",
     "Liveness",
+    "MethodSummary",
+    "RECEIVER",
     "ReachingDefinitions",
     "SetAnalysis",
     "Slicer",
+    "SummaryCache",
+    "SummaryEngine",
+    "SummaryStats",
     "TOP",
     "TaintPolicy",
+    "apk_fingerprint",
+    "config_call_values",
     "trace_origins",
 ]

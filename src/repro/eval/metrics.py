@@ -12,6 +12,7 @@ from typing import Optional
 
 from ..core.checker import ScanResult
 from ..core.defects import DefectKind
+from ..core.requests import RequestLocation
 
 #: Table 6 "over retries" aggregates the three improper-parameter kinds.
 _OVER_RETRY = (
@@ -89,14 +90,14 @@ class AppRequestFlags:
 def app_flags(result: ScanResult) -> AppRequestFlags:
     """Fold one scan into per-request outcome flags."""
     flags = AppRequestFlags(result.package)
-    findings_by_request: dict[int, set[DefectKind]] = {}
+    findings_by_request: dict[RequestLocation, set[DefectKind]] = {}
     for finding in result.findings:
         if finding.request is not None:
-            findings_by_request.setdefault(id(finding.request), set()).add(
+            findings_by_request.setdefault(finding.request.loc, set()).add(
                 finding.kind
             )
     for request in result.requests:
-        kinds = findings_by_request.get(id(request), set())
+        kinds = findings_by_request.get(request.loc, set())
         flags.total_requests += 1
         if DefectKind.MISSED_CONNECTIVITY_CHECK in kinds:
             flags.missing_conn += 1

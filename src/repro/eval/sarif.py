@@ -1,0 +1,123 @@
+"""SARIF 2.1.0 export of scan results (``nchecker scan --sarif``).
+
+One ``result`` per :class:`~repro.core.findings.Finding`, so editors and
+CI annotators (GitHub code scanning, VS Code SARIF viewer) can surface
+NChecker warnings next to the code.  Defect kinds become the run's
+``rules``; the finding's method/statement anchor becomes a logical
+location plus a region whose ``startLine`` is the 1-based statement
+index within the ``.apkt`` artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from ..core.checker import ScanResult
+from ..core.defects import DefectKind, Impact, defect_info
+from ..core.findings import Finding
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: SARIF has three ``level`` values; crash-capable defects are errors.
+_LEVEL_BY_IMPACT = {
+    Impact.CRASH_FREEZE: "error",
+}
+
+
+def _rule(kind: DefectKind) -> dict:
+    info = defect_info(kind)
+    return {
+        "id": kind.value,
+        "name": kind.name.title().replace("_", ""),
+        "shortDescription": {"text": kind.value.replace("-", " ")},
+        "fullDescription": {
+            "text": f"Root cause: {info.root_cause.value}; "
+            f"impact: {info.impact.value}."
+        },
+        "help": {"text": info.fix_template},
+        "defaultConfiguration": {
+            "level": _LEVEL_BY_IMPACT.get(info.impact, "warning")
+        },
+    }
+
+
+def _result(finding: Finding, artifact_uri: Optional[str]) -> dict:
+    cls, name, arity = finding.method_key
+    physical: dict = {
+        "region": {"startLine": finding.stmt_index + 1}
+    }
+    if artifact_uri is not None:
+        physical["artifactLocation"] = {"uri": artifact_uri}
+    result = {
+        "ruleId": finding.kind.value,
+        "level": _LEVEL_BY_IMPACT.get(finding.info.impact, "warning"),
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": physical,
+                "logicalLocations": [
+                    {
+                        "fullyQualifiedName": f"{cls}.{name}",
+                        "kind": "function",
+                    }
+                ],
+            }
+        ],
+        "properties": {
+            "context": finding.context,
+            "defaultCaused": finding.default_caused,
+            "statementIndex": finding.stmt_index,
+            "arity": arity,
+        },
+    }
+    return result
+
+
+def sarif_log(
+    results: list[ScanResult], artifact_uris: Optional[list[Optional[str]]] = None
+) -> dict:
+    """The SARIF log object for one or more scans (one ``run`` total).
+
+    ``artifact_uris`` pairs each scan with the ``.apkt`` path it came
+    from; pass ``None`` entries (or omit the list) for in-memory apps.
+    """
+    if artifact_uris is None:
+        artifact_uris = [None] * len(results)
+    kinds = sorted(
+        {f.kind for result in results for f in result.findings},
+        key=lambda k: k.value,
+    )
+    sarif_results = [
+        _result(finding, uri)
+        for result, uri in zip(results, artifact_uris)
+        for finding in result.findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "nchecker",
+                        "informationUri": (
+                            "https://doi.org/10.1145/2901318.2901353"
+                        ),
+                        "rules": [_rule(kind) for kind in kinds],
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
+    }
+
+
+def dumps_sarif(
+    results: list[ScanResult], artifact_uris: Optional[list[Optional[str]]] = None
+) -> str:
+    return json.dumps(sarif_log(results, artifact_uris), indent=2)

@@ -1,0 +1,60 @@
+"""Tarjan SCC / condensation ordering (the summary engine's backbone)."""
+
+from repro.callgraph.scc import condensation_order, strongly_connected_components
+
+
+def _graph(edges: dict[str, list[str]]):
+    nodes = sorted(set(edges) | {s for succ in edges.values() for s in succ})
+    return nodes, lambda n: edges.get(n, [])
+
+
+class TestStronglyConnectedComponents:
+    def test_chain_is_callee_first(self):
+        nodes, succ = _graph({"a": ["b"], "b": ["c"]})
+        assert strongly_connected_components(nodes, succ) == [("c",), ("b",), ("a",)]
+
+    def test_cycle_grouped_into_one_scc(self):
+        nodes, succ = _graph({"a": ["b"], "b": ["a", "c"]})
+        sccs = strongly_connected_components(nodes, succ)
+        assert sorted(sccs[0]) == ["c"]
+        assert sorted(sccs[1]) == ["a", "b"]
+
+    def test_self_loop_is_its_own_scc(self):
+        nodes, succ = _graph({"a": ["a"]})
+        assert strongly_connected_components(nodes, succ) == [("a",)]
+
+    def test_disconnected_nodes_all_emitted(self):
+        nodes, succ = _graph({"a": [], "b": [], "c": []})
+        emitted = {n for scc in strongly_connected_components(nodes, succ) for n in scc}
+        assert emitted == {"a", "b", "c"}
+
+    def test_diamond_respects_dependencies(self):
+        nodes, succ = _graph({"a": ["b", "c"], "b": ["d"], "c": ["d"]})
+        sccs = strongly_connected_components(nodes, succ)
+        pos = {n: i for i, scc in enumerate(sccs) for n in scc}
+        assert pos["d"] < pos["b"] < pos["a"]
+        assert pos["d"] < pos["c"] < pos["a"]
+
+    def test_deep_chain_does_not_recurse(self):
+        # 10k frames would blow Python's recursion limit if Tarjan recursed.
+        n = 10_000
+        edges = {str(i): [str(i + 1)] for i in range(n)}
+        nodes, succ = _graph(edges)
+        sccs = strongly_connected_components(nodes, succ)
+        assert len(sccs) == n + 1
+        assert sccs[0] == (str(n),)
+        assert sccs[-1] == ("0",)
+
+
+class TestCondensationOrder:
+    def test_positions_match_emission_order(self):
+        nodes, succ = _graph({"a": ["b"], "b": ["c", "a"]})
+        sccs, position = condensation_order(nodes, succ)
+        assert position["c"] == 0
+        assert position["a"] == position["b"] == 1
+        assert len(sccs) == 2
+
+    def test_every_node_positioned(self):
+        nodes, succ = _graph({"a": ["b", "c"], "b": [], "c": ["b"]})
+        _sccs, position = condensation_order(nodes, succ)
+        assert set(position) == {"a", "b", "c"}

@@ -1,0 +1,119 @@
+"""SARIF 2.1.0 export (`eval.sarif` and `nchecker scan --sarif`)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import NChecker
+from repro.core.defects import Impact, defect_info
+from repro.eval.sarif import SARIF_VERSION, dumps_sarif, sarif_log
+from repro.corpus.snippets import RequestSpec
+
+from tests.conftest import single_request_app
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "apps"
+
+
+@pytest.fixture(scope="module")
+def scan_result():
+    apk, _ = single_request_app(RequestSpec())
+    return NChecker().scan(apk)
+
+
+class TestSarifLog:
+    def test_required_top_level_fields(self, scan_result):
+        log = sarif_log([scan_result])
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+        assert len(log["runs"]) == 1
+        assert log["runs"][0]["tool"]["driver"]["name"] == "nchecker"
+
+    def test_one_result_per_finding(self, scan_result):
+        log = sarif_log([scan_result])
+        results = log["runs"][0]["results"]
+        assert len(results) == len(scan_result.findings)
+        assert results, "the unconfigured request app must produce findings"
+
+    def test_every_result_references_a_declared_rule(self, scan_result):
+        log = sarif_log([scan_result])
+        rule_ids = {r["id"] for r in log["runs"][0]["tool"]["driver"]["rules"]}
+        for result in log["runs"][0]["results"]:
+            assert result["ruleId"] in rule_ids
+
+    def test_rule_shape(self, scan_result):
+        log = sarif_log([scan_result])
+        for rule in log["runs"][0]["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"]
+            assert rule["fullDescription"]["text"]
+            assert rule["help"]["text"]
+            assert rule["defaultConfiguration"]["level"] in {
+                "error", "warning", "note"
+            }
+
+    def test_result_shape(self, scan_result):
+        log = sarif_log([scan_result], ["apps/buggy.apkt"])
+        for result in log["runs"][0]["results"]:
+            assert result["message"]["text"]
+            assert result["level"] in {"error", "warning", "note"}
+            location = result["locations"][0]
+            physical = location["physicalLocation"]
+            assert physical["region"]["startLine"] >= 1
+            assert physical["artifactLocation"]["uri"] == "apps/buggy.apkt"
+            logical = location["logicalLocations"][0]
+            assert logical["kind"] == "function"
+            assert "." in logical["fullyQualifiedName"]
+
+    def test_crash_capable_kinds_are_errors(self, scan_result):
+        log = sarif_log([scan_result])
+        for result in log["runs"][0]["results"]:
+            kind = next(
+                f.kind for f in scan_result.findings
+                if f.kind.value == result["ruleId"]
+            )
+            expected = (
+                "error"
+                if defect_info(kind).impact is Impact.CRASH_FREEZE
+                else "warning"
+            )
+            assert result["level"] == expected
+
+    def test_no_artifact_uri_omits_artifact_location(self, scan_result):
+        log = sarif_log([scan_result])
+        physical = log["runs"][0]["results"][0]["locations"][0]["physicalLocation"]
+        assert "artifactLocation" not in physical
+
+    def test_dumps_is_valid_json(self, scan_result):
+        parsed = json.loads(dumps_sarif([scan_result]))
+        assert parsed["version"] == "2.1.0"
+
+
+class TestCliSarif:
+    def test_scan_writes_sarif_file(self, tmp_path, capsys):
+        out = tmp_path / "findings.sarif"
+        app = EXAMPLES / "newsreader.apkt"
+        code = main(["scan", "--sarif", str(out), str(app)])
+        assert code == 1  # the example app is buggy
+        log = json.loads(out.read_text())
+        assert log["version"] == "2.1.0"
+        results = log["runs"][0]["results"]
+        assert results
+        uri = results[0]["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+        assert uri.endswith("newsreader.apkt")
+        # The human-readable report is suppressed in SARIF mode.
+        captured = capsys.readouterr().out
+        assert "NPD Information" not in captured
+        assert "wrote SARIF log" in captured
+
+    def test_scan_multiple_apps_share_one_run(self, tmp_path, capsys):
+        out = tmp_path / "multi.sarif"
+        apps = [str(EXAMPLES / "newsreader.apkt"), str(EXAMPLES / "uploader.apkt")]
+        main(["scan", "--sarif", str(out), *apps])
+        log = json.loads(out.read_text())
+        assert len(log["runs"]) == 1
+        uris = {
+            r["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
+            for r in log["runs"][0]["results"]
+        }
+        assert len(uris) == 2
