@@ -1,0 +1,151 @@
+"""Pipeline benchmarks: batch-scan scaling and incremental patcher
+convergence.
+
+Two claims from the pass-pipeline refactor, measured:
+
+* ``scan --jobs N`` fans whole apps across worker processes with
+  *identical* results — the speedup is bounded by the core count, so the
+  ≥2x assertion only applies on multi-core hosts (CI smoke runs may be
+  single-core);
+* the incremental patch loop rebuilds only the dirty region after each
+  patch round — asserted via the artifact store's build counters, not
+  timing — while producing byte-identical fixed apps.
+
+Both tests append their measurements to ``BENCH_pipeline.json`` in the
+working directory.
+"""
+
+import json
+import multiprocessing
+import time
+from pathlib import Path
+
+from repro.app.loader import dumps_apk, loads_apk
+from repro.core import NChecker
+from repro.core.patcher import Patcher
+from repro.corpus import CorpusGenerator, PAPER_PROFILE
+from repro.pipeline.batch import scan_corpus
+
+BENCH_FILE = Path("BENCH_pipeline.json")
+
+
+def _record(section: str, data: dict) -> None:
+    payload = {}
+    if BENCH_FILE.exists():
+        payload = json.loads(BENCH_FILE.read_text())
+    payload[section] = data
+    BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def _scan_signature(results) -> list:
+    return [
+        (r.package, [(f.kind.value, f.method_key, f.stmt_index) for f in r.findings])
+        for r in results
+    ]
+
+
+def test_batch_scan_scaling(benchmark):
+    n_apps = 16
+    cores = multiprocessing.cpu_count()
+    jobs = min(4, cores)
+
+    def serial():
+        return scan_corpus(PAPER_PROFILE, n_apps, jobs=1)
+
+    start = time.perf_counter()
+    parallel_results = scan_corpus(PAPER_PROFILE, n_apps, jobs=jobs)
+    parallel_s = time.perf_counter() - start
+
+    serial_results = benchmark.pedantic(serial, rounds=1, iterations=1)
+    serial_s = benchmark.stats.stats.mean
+
+    assert _scan_signature(serial_results) == _scan_signature(parallel_results)
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    print(
+        f"\nbatch scan of {n_apps} apps: serial {serial_s*1000:.0f} ms, "
+        f"--jobs {jobs} {parallel_s*1000:.0f} ms ({speedup:.2f}x, {cores} cores)"
+    )
+    # Parallel fan-out only pays off with real cores behind it.
+    if cores >= 4 and jobs >= 4:
+        assert speedup >= 2.0, f"expected >=2x on {cores} cores, got {speedup:.2f}x"
+    _record("batch_scan", {
+        "n_apps": n_apps,
+        "jobs": jobs,
+        "cores": cores,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "speedup": speedup,
+        "identical_results": True,
+    })
+
+
+def test_incremental_patcher_convergence(benchmark):
+    pairs = CorpusGenerator(PAPER_PROFILE.scaled(12)).generate()
+    buggy = [apk for apk, _ in pairs]
+    patcher = Patcher()
+
+    def patch_incremental():
+        fixed_blobs = []
+        cfg_first_scan = 0
+        cfg_incremental_rounds = 0
+        full_equivalent_rounds = 0
+        invalidated = 0
+        for apk in buggy:
+            checker = NChecker()
+            working = loads_apk(dumps_apk(apk))
+            session = checker.open_session(working)
+            result = session.scan()
+            first = session.store.counters.builds_of("cfg")
+            cfg_first_scan += first
+            rounds = 0
+            while result.findings and rounds < 3:
+                outcome = patcher.patch_in_place(working, result)
+                if not outcome.applied:
+                    break
+                session.invalidate_methods(outcome.touched)
+                rounds += 1
+                result = session.scan()
+            counters = session.store.counters
+            cfg_incremental_rounds += counters.builds_of("cfg") - first
+            full_equivalent_rounds += first * rounds
+            invalidated += counters.invalidated_methods
+            fixed_blobs.append(dumps_apk(working))
+        return (fixed_blobs, cfg_first_scan, cfg_incremental_rounds,
+                full_equivalent_rounds, invalidated)
+
+    (blobs, first, incremental_cfgs, full_equiv, invalidated) = benchmark.pedantic(
+        patch_incremental, rounds=1, iterations=1
+    )
+    incremental_s = benchmark.stats.stats.mean
+
+    start = time.perf_counter()
+    full_blobs = [
+        dumps_apk(Patcher().patch_until_clean(apk, NChecker(), incremental=False)[0])
+        for apk in buggy
+    ]
+    full_s = time.perf_counter() - start
+
+    assert blobs == full_blobs, "incremental patching changed the fixed apps"
+    # The dirty region is a strict subset: rescans after each patch round
+    # rebuild fewer CFGs than scanning every method from scratch would.
+    assert invalidated > 0
+    assert incremental_cfgs < full_equiv, (
+        f"incremental rounds rebuilt {incremental_cfgs} CFGs, "
+        f"full rescans would have rebuilt {full_equiv}"
+    )
+    print(
+        f"\nincremental patching of {len(buggy)} apps: "
+        f"{incremental_s*1000:.0f} ms vs full-rescan {full_s*1000:.0f} ms; "
+        f"round rebuilds {incremental_cfgs}/{full_equiv} CFGs "
+        f"({invalidated} methods invalidated)"
+    )
+    _record("incremental_patcher", {
+        "n_apps": len(buggy),
+        "incremental_s": incremental_s,
+        "full_rescan_s": full_s,
+        "first_scan_cfg_builds": first,
+        "incremental_round_cfg_builds": incremental_cfgs,
+        "full_equivalent_cfg_builds": full_equiv,
+        "methods_invalidated": invalidated,
+        "identical_output": True,
+    })

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterable, Iterator, Optional
 
 from ..app.apk import APK
 from ..app.components import (
@@ -252,6 +252,54 @@ class CallGraph:
                         )
                         break
         return found
+
+    # -- incremental maintenance ---------------------------------------------
+
+    def refresh_methods(self, keys: Iterable[MethodKey]) -> None:
+        """Re-derive the out-edges of the given (mutated) methods.
+
+        The per-method analysis cache entries for these methods must be
+        dropped *before* calling this — edge resolution recovers receiver
+        classes through it (:func:`origin_classes`).  Field-type facts are
+        whole-app; if the mutation changed them, every method's edges may
+        resolve differently and the graph is rebuilt wholesale.
+        """
+        keys = [k for k in keys if k in self.methods]
+        new_field_types = collect_field_types(list(self.apk.methods()))
+        if new_field_types != self.field_types:
+            self.field_types = new_field_types
+            self.out_edges.clear()
+            self.in_edges.clear()
+            for key, method in self.methods.items():
+                for idx, invoke in method.invoke_sites():
+                    for edge in self._edges_for_site(key, method, idx, invoke):
+                        self._add_edge(edge)
+            return
+        for key in keys:
+            for edge in self.out_edges.pop(key, []):
+                mirror = self.in_edges.get(edge.callee)
+                if mirror is not None:
+                    mirror[:] = [e for e in mirror if e.caller != key]
+            method = self.methods[key]
+            for idx, invoke in method.invoke_sites():
+                for edge in self._edges_for_site(key, method, idx, invoke):
+                    self._add_edge(edge)
+
+    def transitive_callers(self, keys: Iterable[MethodKey]) -> set[MethodKey]:
+        """All methods from which any of ``keys`` is reachable (callers,
+        callers-of-callers, ...) — the dependency cone a summary
+        invalidation must cover, excluding ``keys`` themselves."""
+        seen: set[MethodKey] = set(keys)
+        frontier = deque(seen)
+        result: set[MethodKey] = set()
+        while frontier:
+            node = frontier.popleft()
+            for edge in self.in_edges.get(node, ()):
+                if edge.caller not in seen:
+                    seen.add(edge.caller)
+                    result.add(edge.caller)
+                    frontier.append(edge.caller)
+        return result
 
     # -- queries -------------------------------------------------------------
 

@@ -43,6 +43,12 @@ class MethodAnalysisCache:
             self._defuse[key] = DefUseChains(self.cfg(method))
         return self._defuse[key]
 
+    def invalidate(self, method: IRMethod) -> None:
+        """Drop the cached analyses of one (mutated) method."""
+        key = id(method)
+        self._cfgs.pop(key, None)
+        self._defuse.pop(key, None)
+
 
 def origin_classes(
     method: IRMethod,

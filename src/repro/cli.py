@@ -28,51 +28,62 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         interprocedural_connectivity=not args.intraprocedural,
         summary_based=not args.no_summaries,
     )
-    checker = NChecker(options=options)
+    from .pipeline.batch import BatchScanner
+
+    scanner = BatchScanner(options=options, jobs=args.jobs)
+    payloads = scanner.scan_paths(
+        args.apps,
+        want_json=args.json,
+        want_sarif=bool(args.sarif),
+        want_stats=args.stats,
+        want_summary=args.summary,
+    )
     exit_code = 0
     json_payload = []
-    sarif_results, sarif_uris = [], []
-    for path in args.apps:
-        apk = _load_or_die(path)
-        result = checker.scan(apk)
-        if result.is_buggy:
+    sarif_kinds, sarif_results = [], []
+    for payload in payloads:
+        if not payload.ok:
+            print(payload.error, file=sys.stderr)
+            raise SystemExit(2)
+        if payload.n_findings:
             exit_code = 1
         if args.sarif:
-            sarif_results.append(result)
-            sarif_uris.append(Path(path).as_posix())
+            sarif_kinds.extend(payload.sarif_kind_values)
+            sarif_results.extend(payload.sarif_results)
         if args.json:
-            json_payload.append(result.to_dict())
+            json_payload.append(payload.json_dict)
         if args.json or args.sarif:
             continue
-        print(f"== {apk.package}: {len(result.findings)} NPD(s), "
-              f"{len(result.requests)} request(s) ==")
+        print(f"== {payload.package}: {payload.n_findings} NPD(s), "
+              f"{payload.n_requests} request(s) ==")
         if args.stats:
-            from .ir.metrics import app_metrics
-
-            for label, value in app_metrics(apk).as_rows():
+            for label, value in payload.stats_rows:
                 print(f"  {label}: {value}")
         if args.summary:
-            for kind, count in sorted(result.summary().items()):
+            for kind, count in payload.summary_counts:
                 print(f"  {kind}: {count}")
         else:
-            for report in result.reports():
-                print(report.render())
+            for text in payload.report_texts:
+                print(text)
                 print()
     if args.json:
         import json
 
         print(json.dumps(json_payload, indent=2))
     if args.sarif:
-        from .eval.sarif import dumps_sarif
+        import json
 
+        from .eval.sarif import assemble_sarif_log
+
+        log = assemble_sarif_log(sarif_kinds, sarif_results)
         try:
-            Path(args.sarif).write_text(dumps_sarif(sarif_results, sarif_uris))
+            Path(args.sarif).write_text(json.dumps(log, indent=2))
         except OSError as exc:
             print(f"error: cannot write SARIF log to {args.sarif}: {exc}",
                   file=sys.stderr)
             return 2
         # Keep stdout pure JSON when --json streams the payload there.
-        print(f"wrote SARIF log for {len(sarif_results)} app(s) to {args.sarif}",
+        print(f"wrote SARIF log for {len(payloads)} app(s) to {args.sarif}",
               file=sys.stderr if args.json else sys.stdout)
     return exit_code
 
@@ -102,6 +113,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def _cmd_patch(args: argparse.Namespace) -> int:
     from .core.patcher import Patcher
 
+    if args.output and len(args.apps) > 1:
+        args.parser.error("-o/--output requires exactly one input app")
     checker = NChecker()
     patcher = Patcher()
     exit_code = 0
@@ -110,8 +123,6 @@ def _cmd_patch(args: argparse.Namespace) -> int:
         fixed, applied = patcher.patch_until_clean(apk, checker)
         remaining = checker.scan(fixed).findings
         out_path = Path(args.output or Path(path).with_suffix(".fixed.apkt"))
-        if len(args.apps) > 1:
-            out_path = Path(path).with_suffix(".fixed.apkt")
         out_path.write_text(dumps_apk(fixed))
         print(
             f"{apk.package}: applied {len(applied)} patch(es), "
@@ -193,10 +204,18 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     out_dir = Path(args.directory)
     out_dir.mkdir(parents=True, exist_ok=True)
     generator = CorpusGenerator(PAPER_PROFILE.scaled(args.apps))
+    truths = []
     for apk, truth in generator.iter_apps():
         path = out_dir / f"{apk.package}.apkt"
         path.write_text(dumps_apk(apk))
+        truths.append(truth)
     print(f"wrote {args.apps} apps to {out_dir}")
+    if not args.no_ledger:
+        from .corpus.groundtruth import dumps_ledger
+
+        ledger_path = out_dir / "groundtruth.json"
+        ledger_path.write_text(dumps_ledger(truths))
+        print(f"wrote ground-truth ledger to {ledger_path}")
     return 0
 
 
@@ -245,6 +264,11 @@ def main(argv: list[str] | None = None) -> int:
         "--stats", action="store_true", help="also print app code metrics"
     )
     scan.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="scan apps across N worker processes (output is byte-identical "
+        "to --jobs 1)",
+    )
+    scan.add_argument(
         "--guard-aware",
         action="store_true",
         help="require connectivity checks to control-guard the request",
@@ -273,7 +297,7 @@ def main(argv: list[str] | None = None) -> int:
         "-o", "--output", help="output path (single input only; default: "
         "<input>.fixed.apkt)"
     )
-    patch.set_defaults(func=_cmd_patch)
+    patch.set_defaults(func=_cmd_patch, parser=patch)
 
     diff = sub.add_parser(
         "diff", help="compare the findings of two app versions"
@@ -301,6 +325,10 @@ def main(argv: list[str] | None = None) -> int:
     corpus = sub.add_parser("corpus", help="emit the synthetic corpus as .apkt files")
     corpus.add_argument("directory")
     corpus.add_argument("--apps", type=int, default=285)
+    corpus.add_argument(
+        "--no-ledger", action="store_true",
+        help="skip writing the groundtruth.json ledger next to the .apkt files",
+    )
     corpus.set_defaults(func=_cmd_corpus)
 
     args = parser.parse_args(argv)

@@ -1,31 +1,35 @@
 """The NChecker orchestrator (paper §4).
 
-``NChecker.scan(apk)`` runs the full pipeline: build the call graph,
+``NChecker.scan(apk)`` runs the full pipeline — build the call graph,
 extract network requests with their contexts, identify customized retry
-loops, and run the four analyses of §4.4.  The result object carries the
-findings plus the per-request facts the evaluation harness aggregates
-into the paper's tables and CDFs.
+loops, and run the four analyses of §4.4 — as a **pass pipeline** over a
+per-APK artifact store (see :mod:`repro.pipeline`): each enabled check
+declares the artifacts it reads, the scheduler orders the passes and
+builds only the artifacts some enabled pass needs, and repeat scans of a
+structurally unchanged app reuse the whole store.  The result object
+carries the findings plus the per-request facts the evaluation harness
+aggregates into the paper's tables and CDFs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..app.apk import APK
-from ..dataflow.summaries import SummaryCache
 from ..libmodels import default_registry
 from ..libmodels.annotations import LibraryRegistry
-from .checks.config_apis import ConfigAPICheck, RequestConfigInfo
-from .checks.connectivity import ConnectivityCheck
-from .checks.notification import NotificationCheck, NotificationInfo
-from .checks.response import ResponseCheck
-from .checks.retry_params import RetryParameterCheck
+from .checks.config_apis import RequestConfigInfo
+from .checks.notification import NotificationInfo
 from .defects import DefectKind
 from .findings import Finding
 from .report import WarningReport, build_report
-from .requests import AnalysisContext, NetworkRequest, RequestLocation, find_requests
-from .retry_loops import RetryLoop, identify_retry_loops
+from .requests import NetworkRequest, RequestLocation
+from .retry_loops import RetryLoop
+
+if TYPE_CHECKING:
+    from ..pipeline.passes import ScanPlan
+    from ..pipeline.scan import ScanSession
 
 
 @dataclass(frozen=True)
@@ -148,79 +152,52 @@ class ScanResult:
 
 
 class NChecker:
-    """Static NPD detector for Android-style app binaries."""
+    """Static NPD detector for Android-style app binaries.
+
+    A thin façade over :class:`repro.pipeline.scan.ScanSession`: each
+    scanned app gets a session owning its artifact store, cached per
+    package (keyed by structural fingerprint) so repeat scans of the same
+    app — corpus rescans, scan-after-patch comparisons — reuse every
+    derived artifact instead of just the summary engine.
+    """
 
     def __init__(
         self,
         registry: Optional[LibraryRegistry] = None,
         options: NCheckerOptions = NCheckerOptions(),
     ) -> None:
+        from ..pipeline.scan import SessionCache
+
         self.registry = registry or default_registry()
         self.options = options
-        #: Per-APK interprocedural summaries, reused across repeat scans
-        #: of the same (structurally unchanged) app.
-        self.summary_cache = SummaryCache()
+        #: Per-APK scan sessions (artifact stores), reused across repeat
+        #: scans of the same (structurally unchanged) app.
+        self.sessions = SessionCache()
+
+    @property
+    def summary_cache(self):
+        """Legacy alias for :attr:`sessions` — the session cache subsumes
+        the old per-APK ``SummaryCache`` and keeps its hit/miss counter
+        semantics (one miss per structurally distinct app state)."""
+        return self.sessions
 
     def scan(self, apk: APK) -> ScanResult:
         """Run all enabled analyses over one app."""
-        ctx = AnalysisContext.build(apk, self.registry)
-        if self.options.summary_based:
-            ctx.summaries = self.summary_cache.engine_for(
-                apk, ctx.callgraph, self.registry, ctx.cache
-            )
-        requests = find_requests(ctx)
+        return self.session_for(apk).scan()
 
-        retry_loops: list[RetryLoop] = []
-        if self.options.detect_retry_loops:
-            retry_loops = identify_retry_loops(ctx, requests)
-        # The config check reads the loops off the context.
-        ctx.retry_loops = retry_loops
+    def session_for(self, apk: APK) -> "ScanSession":
+        """The (cached) scan session for ``apk``."""
+        return self.sessions.session_for(apk, self.registry, self.options)
 
-        findings: list[Finding] = []
-        opts = self.options
+    def open_session(self, apk: APK) -> "ScanSession":
+        """A fresh, uncached session over ``apk`` — the patcher's entry
+        point for incremental re-scan loops, where the caller owns the
+        app object and mutates it in place between scans."""
+        from ..pipeline.scan import ScanSession
 
-        icc_model = None
-        if opts.inter_component:
-            from ..callgraph.icc import build_icc_model
+        return ScanSession(apk, self.registry, self.options)
 
-            icc_model = build_icc_model(apk, ctx.cache)
-
-        config_check = ConfigAPICheck()
-        if "config-apis" in opts.enabled_checks:
-            findings.extend(config_check.run(ctx, requests))
-
-        if "connectivity" in opts.enabled_checks:
-            connectivity = ConnectivityCheck(
-                guard_aware=opts.guard_aware_connectivity,
-                interprocedural=opts.interprocedural_connectivity,
-                icc_model=icc_model,
-            )
-            findings.extend(connectivity.run(ctx, requests))
-
-        if "retry-parameters" in opts.enabled_checks:
-            retry_check = RetryParameterCheck(config_check)
-            findings.extend(retry_check.run(ctx, requests))
-
-        notification_check = NotificationCheck(
-            opts.notification_callee_depth, icc_model=icc_model
-        )
-        if "failure-notification" in opts.enabled_checks:
-            findings.extend(notification_check.run(ctx, requests))
-
-        if "invalid-response" in opts.enabled_checks:
-            findings.extend(ResponseCheck().run(ctx, requests))
-
-        if opts.check_network_switch:
-            from .checks.network_switch import NetworkSwitchCheck
-
-            findings.extend(NetworkSwitchCheck().run(ctx, requests))
-
-        findings.sort(key=lambda f: (f.method_key, f.stmt_index, f.kind.value))
-        return ScanResult(
-            apk,
-            requests,
-            findings,
-            retry_loops,
-            config_info=dict(config_check.info_by_request),
-            notification_info=dict(notification_check.info_by_request),
-        )
+    def plan_for(self, apk: APK) -> "ScanPlan":
+        """The scan plan (ordered passes, needed/skipped artifacts) the
+        current options produce for ``apk``."""
+        return self.session_for(apk).plan()

@@ -34,6 +34,17 @@ from .base import methods_invoking, request_frames
 
 class ConnectivityCheck:
     name = "connectivity"
+    after: tuple[str, ...] = ()
+
+    def reads(self, options) -> tuple[str, ...]:
+        names = ["requests"]
+        if self.interprocedural:
+            names.append("callgraph")
+            if options.summary_based:
+                names.append("summaries")
+        if options.inter_component:
+            names.append("icc-model")
+        return tuple(names)
 
     def __init__(
         self,

@@ -52,6 +52,15 @@ class NotificationInfo:
 
 class NotificationCheck:
     name = "failure-notification"
+    after: tuple[str, ...] = ()
+
+    def reads(self, options) -> tuple[str, ...]:
+        names = ["requests", "callgraph"]
+        if options.summary_based:
+            names.append("summaries")
+        if options.inter_component:
+            names.append("icc-model")
+        return tuple(names)
 
     def __init__(self, callee_depth: int = 2, icc_model=None) -> None:
         #: Callee search depth for the *legacy* walk; in summary mode

@@ -37,6 +37,13 @@ from ..requests import AnalysisContext, NetworkRequest
 
 class ResponseCheck:
     name = "invalid-response"
+    after: tuple[str, ...] = ()
+
+    def reads(self, options) -> tuple[str, ...]:
+        names = ["requests", "callgraph"]
+        if options.summary_based:
+            names.append("summaries")
+        return tuple(names)
 
     def run(
         self, ctx: AnalysisContext, requests: list[NetworkRequest]

@@ -20,8 +20,13 @@ further and applies the suggested fixes mechanically:
 
 ``Patcher.patch`` never mutates the input app: it works on a clone (via
 the ``.apkt`` round trip) and returns it with a ledger of applied and
-skipped fixes.  ``scan → patch → rescan`` is expected to converge to zero
-findings — the property the tests assert per library and defect kind.
+skipped fixes.  ``Patcher.patch_in_place`` is the mutating core — it
+additionally reports the set of methods it touched, which is what lets
+``patch_until_clean`` re-scan incrementally: one clone up front, then
+each round patches in place and invalidates only the dirty region of the
+scan session's artifact store.  ``scan → patch → rescan`` is expected to
+converge to zero findings — the property the tests assert per library
+and defect kind.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ from typing import Optional
 
 from ..app.apk import APK
 from ..app.loader import dumps_apk, loads_apk
-from ..callgraph.entrypoints import MethodKey
+from ..callgraph.entrypoints import MethodKey, method_key
 from ..ir.method import IRMethod
 from ..ir.statements import (
     AssignStmt,
@@ -79,6 +84,10 @@ class PatchResult:
     apk: APK
     applied: list[AppliedPatch] = field(default_factory=list)
     skipped: list[tuple[Finding, str]] = field(default_factory=list)
+    #: Methods whose bodies this patch round mutated — the incremental
+    #: re-scan report: the artifact store invalidates exactly these (and
+    #: their dependents) instead of rebuilding the whole app.
+    touched: set[MethodKey] = field(default_factory=set)
 
 
 class Patcher:
@@ -104,13 +113,27 @@ class Patcher:
         self.default_timeout_ms = default_timeout_ms
         self.user_retries = user_retries
         self._label_hint = "npdfix"
+        #: Methods beyond the finding's target the current handler edited
+        #: (error callbacks, ``onPostExecute``) — folded into
+        #: :attr:`PatchResult.touched` by :meth:`_apply_one`.
+        self._extra_touched: list[MethodKey] = []
 
     # ------------------------------------------------------------------
 
     def patch(self, apk: APK, result: ScanResult) -> PatchResult:
         """Apply fixes for ``result``'s findings to a clone of ``apk``."""
         clone = loads_apk(dumps_apk(apk))
-        outcome = PatchResult(clone)
+        return self.patch_in_place(clone, result)
+
+    def patch_in_place(self, apk: APK, result: ScanResult) -> PatchResult:
+        """Apply fixes directly to ``apk``, mutating its methods.
+
+        The returned :attr:`PatchResult.touched` lists every mutated
+        method, so a caller holding a scan session can invalidate just
+        the dirty region (``session.invalidate_methods(outcome.touched)``)
+        instead of re-deriving the whole app.
+        """
+        outcome = PatchResult(apk)
 
         # Group by target method and apply bottom-up so earlier statement
         # indices stay valid across insertions.
@@ -119,7 +142,7 @@ class Patcher:
             per_method.setdefault(self._target_method_key(finding), []).append(finding)
 
         for key, findings in per_method.items():
-            method = self._resolve(clone, key)
+            method = self._resolve(apk, key)
             if method is None:
                 for finding in findings:
                     outcome.skipped.append((finding, f"method {key} not found"))
@@ -127,27 +150,52 @@ class Patcher:
             for finding in sorted(
                 findings, key=lambda f: self._anchor_index(f), reverse=True
             ):
-                self._apply_one(clone, method, finding, outcome)
+                self._apply_one(apk, method, finding, outcome)
             method.validate()
         return outcome
 
     def patch_until_clean(
-        self, apk: APK, checker: Optional[NChecker] = None, max_rounds: int = 3
+        self,
+        apk: APK,
+        checker: Optional[NChecker] = None,
+        max_rounds: int = 3,
+        incremental: bool = True,
     ) -> tuple[APK, list[AppliedPatch]]:
-        """Iterate scan → patch until no findings remain (or give up)."""
+        """Iterate scan → patch until no findings remain (or give up).
+
+        The default mode clones the input once, then patches it in place
+        and narrows each re-scan to the patched methods' dirty region via
+        the scan session's artifact store.  ``incremental=False`` is the
+        pre-pipeline behaviour — clone and re-derive everything every
+        round — kept as the benchmark baseline.
+        """
         checker = checker or NChecker()
         applied: list[AppliedPatch] = []
-        current = apk
+        if not incremental:
+            current = apk
+            for _round in range(max_rounds):
+                result = checker.scan(current)
+                if not result.findings:
+                    break
+                outcome = self.patch(current, result)
+                applied.extend(outcome.applied)
+                if not outcome.applied:
+                    break  # nothing more we can do
+                current = outcome.apk
+            return current, applied
+
+        working = loads_apk(dumps_apk(apk))
+        session = checker.open_session(working)
         for _round in range(max_rounds):
-            result = checker.scan(current)
+            result = session.scan()
             if not result.findings:
                 break
-            outcome = self.patch(current, result)
+            outcome = self.patch_in_place(working, result)
             applied.extend(outcome.applied)
             if not outcome.applied:
                 break  # nothing more we can do
-            current = outcome.apk
-        return current, applied
+            session.invalidate_methods(outcome.touched)
+        return working, applied
 
     # -- dispatch -------------------------------------------------------
 
@@ -171,6 +219,7 @@ class Patcher:
                 DefectKind.MISSED_RESPONSE_CHECK: self._fix_response_check,
                 DefectKind.AGGRESSIVE_RETRY_LOOP: self._fix_backoff,
             }[kind]
+            self._extra_touched = []
             description = handler(apk, method, finding)
         except _Unfixable as exc:
             outcome.skipped.append((finding, str(exc)))
@@ -178,6 +227,8 @@ class Patcher:
         outcome.applied.append(
             AppliedPatch(kind, self._target_method_key(finding), description)
         )
+        outcome.touched.add(self._target_method_key(finding))
+        outcome.touched.update(self._extra_touched)
 
     def _target_method_key(self, finding: Finding) -> MethodKey:
         # Response-check findings anchor at the use site and aggressive-loop
@@ -409,6 +460,7 @@ class Patcher:
         callback = self._error_callback_method(apk, finding)
         if callback is not None:
             insert_statements(callback, 0, _toast_statements())
+            self._extra_touched.append(method_key(callback))
             return f"added a Toast to {callback.sig.qualified_name}"
         # AsyncTask: onPostExecute.
         cls = apk.get_class(method.class_name)
@@ -417,6 +469,7 @@ class Patcher:
                 if name == "onPostExecute":
                     post = cls.get_method(name, arity)
                     insert_statements(post, 0, _toast_statements())
+                    self._extra_touched.append(method_key(post))
                     return "added a Toast to onPostExecute"
         raise _Unfixable("no error path to attach a notification to")
 
@@ -430,6 +483,7 @@ class Patcher:
             InstanceOfExpr(error_param, "com.android.volley.NoConnectionError"),
         )
         insert_statements(callback, 0, [check])
+        self._extra_touched.append(method_key(callback))
         return "inspect the error type (instanceof NoConnectionError)"
 
     def _fix_response_check(self, apk: APK, method: IRMethod, finding: Finding) -> str:

@@ -134,3 +134,47 @@ def overall_accuracy(table: dict[str, Confusion]) -> float:
     correct = sum(c.correct for c in table.values())
     reported = sum(c.reported for c in table.values())
     return correct / reported if reported else 1.0
+
+
+# ---------------------------------------------------------------------------
+# JSON ledger (``nchecker corpus`` writes groundtruth.json next to the
+# .apkt files, so external tools can score their own scans)
+# ---------------------------------------------------------------------------
+
+
+def ledger_entry(truth: AppGroundTruth) -> dict:
+    """JSON-safe view of one app's injected requests."""
+    return {
+        "package": truth.package,
+        "requests": [
+            {
+                "host_class": req.host_class,
+                "host_method": req.host_method,
+                "library": req.spec.library,
+                "expected": sorted(kind.value for kind in req.expected),
+                "spec": {
+                    "http_post": req.spec.http_post,
+                    "connectivity": req.spec.connectivity.value,
+                    "with_timeout": req.spec.with_timeout,
+                    "timeout_ms": req.spec.timeout_ms,
+                    "with_retry": req.spec.with_retry,
+                    "retry_value": req.spec.retry_value,
+                    "notification": req.spec.with_notification.value,
+                    "with_response_check": req.spec.with_response_check,
+                    "uses_error_types": req.spec.uses_error_types,
+                    "retry_loop": req.spec.retry_loop.value,
+                    "backoff": req.spec.backoff.value,
+                    "use_async": req.spec.use_async,
+                    "url": req.spec.url,
+                },
+            }
+            for req in truth.requests
+        ],
+    }
+
+
+def dumps_ledger(truths: list[AppGroundTruth]) -> str:
+    """The ``groundtruth.json`` ledger for a generated corpus."""
+    import json
+
+    return json.dumps([ledger_entry(truth) for truth in truths], indent=2) + "\n"

@@ -138,10 +138,10 @@ class SummaryEngine:
         self.cache = cache
         self.stats = SummaryStats()
         self._edge_direct = EDGE_DIRECT
-        keys = list(graph.methods)
-        self.sccs, self.scc_position = condensation_order(
-            keys, lambda k: [e.callee for e in graph.callees(k)]
-        )
+        #: SCC condensation of the call graph, computed lazily so an
+        #: incremental invalidation (which refreshes edges) can simply
+        #: drop it and have the next fact pass recompute the order.
+        self._scc_order: Optional[tuple[list, dict]] = None
         self._bool_facts: dict[str, dict["MethodKey", bool]] = {}
         self._ptr: dict["MethodKey", frozenset[int]] = {}
         self._ptr_in_progress: set["MethodKey"] = set()
@@ -151,6 +151,44 @@ class SummaryEngine:
         self._config_in_progress: set[tuple["MethodKey", int]] = set()
         self._direct_maps: dict["MethodKey", dict[int, "MethodKey"]] = {}
         self._widened: set["MethodKey"] = set()
+
+    def _ensure_scc_order(self) -> tuple[list, dict]:
+        if self._scc_order is None:
+            keys = list(self.graph.methods)
+            self._scc_order = condensation_order(
+                keys, lambda k: [e.callee for e in self.graph.callees(k)]
+            )
+        return self._scc_order
+
+    @property
+    def sccs(self) -> list:
+        return self._ensure_scc_order()[0]
+
+    @property
+    def scc_position(self) -> dict:
+        return self._ensure_scc_order()[1]
+
+    # -- incremental invalidation -------------------------------------------
+
+    def invalidate_methods(self, keys: Iterable["MethodKey"]) -> None:
+        """Drop every memoized fact that may depend on the given methods.
+
+        Callers must pass the full dependency cone (the dirty methods plus
+        their transitive callers — a summary folds in its callees'
+        summaries, so dirtying a callee dirties every caller above it).
+        The boolean fact maps and the SCC order are whole-app artifacts
+        over call-graph edges and are dropped wholesale; they recompute in
+        one cheap pass on next use.
+        """
+        keys = set(keys)
+        self._scc_order = None
+        self._bool_facts.clear()
+        self._widened -= keys
+        for key in keys:
+            self._ptr.pop(key, None)
+            self._direct_maps.pop(key, None)
+        for memo_key in [mk for mk in self._config if mk[0] in keys]:
+            del self._config[memo_key]
 
     # -- transitive boolean facts -------------------------------------------
 

@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from ..core.checker import NChecker, ScanResult
-from ..corpus.generator import CorpusGenerator
 from ..corpus.groundtruth import overall_accuracy, table9_confusions
 from ..corpus.opensource import build_opensource_corpus
 from ..corpus.profiles import PAPER_PROFILE
@@ -60,16 +59,29 @@ class ExperimentReport:
 _SCAN_CACHE: dict[tuple[int, int], list[ScanResult]] = {}
 
 
-def corpus_scan(n_apps: int = 285, seed: Optional[int] = None) -> list[ScanResult]:
-    """Scan the synthetic evaluation corpus (cached)."""
+def corpus_scan(
+    n_apps: int = 285,
+    seed: Optional[int] = None,
+    jobs: Optional[int] = None,
+) -> list[ScanResult]:
+    """Scan the synthetic evaluation corpus (cached).
+
+    ``jobs`` fans the scan across worker processes (results are
+    index-ordered and identical to a serial scan); it defaults to the
+    ``NCHECKER_JOBS`` environment variable, else serial.
+    """
     profile = PAPER_PROFILE if seed is None else PAPER_PROFILE.__class__(
         mix=PAPER_PROFILE.mix, rates=PAPER_PROFILE.rates, seed=seed
     )
     key = (profile.seed, n_apps)
     if key not in _SCAN_CACHE:
-        generator = CorpusGenerator(profile.scaled(n_apps))
-        checker = NChecker()
-        _SCAN_CACHE[key] = [checker.scan(apk) for apk, _ in generator.iter_apps()]
+        if jobs is None:
+            import os
+
+            jobs = int(os.environ.get("NCHECKER_JOBS", "1"))
+        from ..pipeline.batch import scan_corpus
+
+        _SCAN_CACHE[key] = scan_corpus(profile, n_apps, jobs=jobs)
     return _SCAN_CACHE[key]
 
 

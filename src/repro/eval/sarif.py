@@ -78,25 +78,22 @@ def _result(finding: Finding, artifact_uri: Optional[str]) -> dict:
     return result
 
 
-def sarif_log(
-    results: list[ScanResult], artifact_uris: Optional[list[Optional[str]]] = None
-) -> dict:
-    """The SARIF log object for one or more scans (one ``run`` total).
+def finding_result(finding: Finding, artifact_uri: Optional[str]) -> dict:
+    """The SARIF ``result`` object for one finding (public entry point
+    for the batch scanner, whose workers pre-render these)."""
+    return _result(finding, artifact_uri)
 
-    ``artifact_uris`` pairs each scan with the ``.apkt`` path it came
-    from; pass ``None`` entries (or omit the list) for in-memory apps.
+
+def assemble_sarif_log(kind_values: list[str], results: list[dict]) -> dict:
+    """Assemble a SARIF log from pre-rendered pieces.
+
+    ``kind_values`` are the ``DefectKind.value`` strings of every finding
+    (duplicates fine — they define the run's rules); ``results`` are
+    :func:`finding_result` objects, already in output order.  The batch
+    scanner uses this to merge per-worker renderings without touching
+    live analysis objects.
     """
-    if artifact_uris is None:
-        artifact_uris = [None] * len(results)
-    kinds = sorted(
-        {f.kind for result in results for f in result.findings},
-        key=lambda k: k.value,
-    )
-    sarif_results = [
-        _result(finding, uri)
-        for result, uri in zip(results, artifact_uris)
-        for finding in result.findings
-    ]
+    kinds = [DefectKind(value) for value in sorted(set(kind_values))]
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,
@@ -111,10 +108,31 @@ def sarif_log(
                         "rules": [_rule(kind) for kind in kinds],
                     }
                 },
-                "results": sarif_results,
+                "results": list(results),
             }
         ],
     }
+
+
+def sarif_log(
+    results: list[ScanResult], artifact_uris: Optional[list[Optional[str]]] = None
+) -> dict:
+    """The SARIF log object for one or more scans (one ``run`` total).
+
+    ``artifact_uris`` pairs each scan with the ``.apkt`` path it came
+    from; pass ``None`` entries (or omit the list) for in-memory apps.
+    """
+    if artifact_uris is None:
+        artifact_uris = [None] * len(results)
+    kind_values = [
+        f.kind.value for result in results for f in result.findings
+    ]
+    sarif_results = [
+        _result(finding, uri)
+        for result, uri in zip(results, artifact_uris)
+        for finding in result.findings
+    ]
+    return assemble_sarif_log(kind_values, sarif_results)
 
 
 def dumps_sarif(

@@ -1,0 +1,252 @@
+"""Typed per-APK artifact store (the pipeline's "scene").
+
+Every derived analysis product — the call graph, per-method CFGs and
+def-use chains, the interprocedural summary engine, the extracted
+requests, the customized retry loops, the ICC model — lives behind a
+typed :class:`ArtifactKey` in one :class:`ArtifactStore` per APK.  The
+store builds artifacts on demand (building an artifact first builds its
+declared dependencies), counts hits/builds for the cache-effectiveness
+benchmarks, and supports **dependency-aware invalidation**: when the
+patcher mutates a set of methods in place, :meth:`ArtifactStore.
+invalidate_methods` drops exactly the artifacts that may have changed —
+the dirty methods' CFGs/def-use, their call edges, the summary entries
+of the dirty methods and their transitive callers — and leaves the rest
+warm for the next scan.
+
+The store is duck-type compatible with
+:class:`repro.callgraph.resolve.MethodAnalysisCache` (``cfg(method)`` /
+``defuse(method)``), so the call graph, the summary engine, and every
+check share it as the context cache.  Unlike the legacy cache it keys
+method artifacts by :data:`MethodKey`, not ``id(method)``, which is what
+makes targeted invalidation of in-place-mutated methods possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..callgraph.entrypoints import MethodKey, method_key
+
+if TYPE_CHECKING:
+    from ..app.apk import APK
+    from ..callgraph.cha import CallGraph
+    from ..cfg.graph import CFG as CFGGraph
+    from ..core.requests import AnalysisContext, NetworkRequest
+    from ..core.retry_loops import RetryLoop
+    from ..dataflow.reaching import DefUseChains
+    from ..dataflow.summaries import SummaryEngine
+    from ..libmodels.annotations import LibraryRegistry
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Typed handle for one class of derived artifact.
+
+    ``scope`` is ``"app"`` (one value per APK) or ``"method"`` (one value
+    per method, accessed through the cache protocol).  ``deps`` names the
+    app-scoped artifacts that must exist before this one can build; the
+    store resolves them recursively, which is what lets a scan plan state
+    "this check needs summaries" and get the call graph for free.
+    """
+
+    name: str
+    scope: str = "app"
+    deps: tuple[str, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+#: App-scoped artifacts.
+CALLGRAPH = ArtifactKey("callgraph")
+SUMMARIES = ArtifactKey("summaries", deps=("callgraph",))
+REQUESTS = ArtifactKey("requests", deps=("callgraph",))
+RETRY_LOOPS = ArtifactKey("retry-loops", deps=("requests",))
+ICC_MODEL = ArtifactKey("icc-model")
+
+#: Method-scoped artifacts (per-method, built through the cache protocol).
+CFG = ArtifactKey("cfg", scope="method")
+DEFUSE = ArtifactKey("defuse", scope="method", deps=("cfg",))
+
+#: Name → key, for resolving the string dependencies above and the
+#: artifact names checks declare.
+ARTIFACTS: dict[str, ArtifactKey] = {
+    key.name: key
+    for key in (CALLGRAPH, SUMMARIES, REQUESTS, RETRY_LOOPS, ICC_MODEL, CFG, DEFUSE)
+}
+
+
+@dataclass
+class ArtifactCounters:
+    """Build/hit accounting, exposed to the benchmarks so incrementality
+    claims ("only the dirty region rebuilt") are assertable."""
+
+    builds: dict[str, int] = field(default_factory=dict)
+    hits: dict[str, int] = field(default_factory=dict)
+    invalidated_methods: int = 0
+
+    def build(self, name: str) -> None:
+        self.builds[name] = self.builds.get(name, 0) + 1
+
+    def hit(self, name: str) -> None:
+        self.hits[name] = self.hits.get(name, 0) + 1
+
+    def builds_of(self, name: str) -> int:
+        return self.builds.get(name, 0)
+
+    def hits_of(self, name: str) -> int:
+        return self.hits.get(name, 0)
+
+
+class ArtifactStore:
+    """All derived artifacts of one APK, built on demand."""
+
+    def __init__(self, apk: "APK", registry: "LibraryRegistry") -> None:
+        self.apk = apk
+        self.registry = registry
+        self.counters = ArtifactCounters()
+        self._app: dict[str, object] = {}
+        self._cfgs: dict[MethodKey, "CFGGraph"] = {}
+        self._defuse: dict[MethodKey, "DefUseChains"] = {}
+        self._context: Optional["AnalysisContext"] = None
+        self._builders = {
+            CALLGRAPH.name: self._build_callgraph,
+            SUMMARIES.name: self._build_summaries,
+            REQUESTS.name: self._build_requests,
+            RETRY_LOOPS.name: self._build_retry_loops,
+            ICC_MODEL.name: self._build_icc_model,
+        }
+
+    # -- app-scoped artifacts ------------------------------------------------
+
+    def get(self, key: ArtifactKey):
+        """The artifact for ``key``, building it (and its dependencies)
+        if missing."""
+        if key.scope != "app":
+            raise ValueError(
+                f"method-scoped artifact {key.name!r} is accessed per method "
+                f"(store.cfg/defuse), not via get()"
+            )
+        if key.name in self._app:
+            self.counters.hit(key.name)
+            return self._app[key.name]
+        for dep in key.deps:
+            self.get(ARTIFACTS[dep])
+        self.counters.build(key.name)
+        value = self._builders[key.name]()
+        self._app[key.name] = value
+        return value
+
+    def peek(self, key: ArtifactKey):
+        """The artifact if already built, else ``None`` (never builds)."""
+        return self._app.get(key.name)
+
+    @property
+    def context(self) -> "AnalysisContext":
+        """The shared :class:`AnalysisContext` over this store.  Building
+        it forces the call graph (its one mandatory field); ``summaries``
+        and ``retry_loops`` are injected by the scan session according to
+        the plan."""
+        if self._context is None:
+            from ..core.requests import AnalysisContext
+
+            self._context = AnalysisContext(
+                self.apk, self.registry, self.get(CALLGRAPH), self
+            )
+        return self._context
+
+    # -- builders ------------------------------------------------------------
+
+    def _build_callgraph(self) -> "CallGraph":
+        from ..callgraph.cha import CallGraph
+
+        return CallGraph(self.apk, self.registry, self)
+
+    def _build_summaries(self) -> "SummaryEngine":
+        from ..dataflow.summaries import SummaryEngine
+
+        return SummaryEngine(self.get(CALLGRAPH), self.registry, self)
+
+    def _build_requests(self) -> "list[NetworkRequest]":
+        from ..core.requests import find_requests
+
+        return find_requests(self.context)
+
+    def _build_retry_loops(self) -> "list[RetryLoop]":
+        from ..core.retry_loops import identify_retry_loops
+
+        return identify_retry_loops(self.context, self.get(REQUESTS))
+
+    def _build_icc_model(self):
+        from ..callgraph.icc import build_icc_model
+
+        return build_icc_model(self.apk, self)
+
+    # -- method-scoped artifacts (MethodAnalysisCache protocol) --------------
+
+    def cfg(self, method) -> "CFGGraph":
+        key = method_key(method)
+        cached = self._cfgs.get(key)
+        if cached is not None:
+            self.counters.hit(CFG.name)
+            return cached
+        from ..cfg.graph import CFG as CFGGraph
+
+        self.counters.build(CFG.name)
+        built = CFGGraph(method)
+        self._cfgs[key] = built
+        return built
+
+    def defuse(self, method) -> "DefUseChains":
+        key = method_key(method)
+        cached = self._defuse.get(key)
+        if cached is not None:
+            self.counters.hit(DEFUSE.name)
+            return cached
+        from ..dataflow.reaching import DefUseChains
+
+        self.counters.build(DEFUSE.name)
+        built = DefUseChains(self.cfg(method))
+        self._defuse[key] = built
+        return built
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate_methods(self, touched: "set[MethodKey] | frozenset[MethodKey]") -> None:
+        """Dependency-aware invalidation after an in-place mutation of
+        ``touched`` methods (the patcher's report).
+
+        Order matters:
+
+        1. drop the dirty methods' CFG/def-use (edge re-resolution reads
+           receiver classes through this store);
+        2. refresh the dirty methods' call-graph edges, collecting the
+           summary dependency cone on both the old and the new edge sets
+           (a caller of the old *or* new callee graph may see different
+           facts);
+        3. invalidate the summary entries of the dirty cone;
+        4. drop the whole-app extraction artifacts (requests, retry
+           loops, ICC model) — they enumerate statement indices, which
+           insertions shift; they rebuild against the warm method cache.
+        """
+        touched = set(touched)
+        if not touched:
+            return
+        self.counters.invalidated_methods += len(touched)
+        for key in touched:
+            self._cfgs.pop(key, None)
+            self._defuse.pop(key, None)
+        graph = self._app.get(CALLGRAPH.name)
+        dirty = set(touched)
+        if graph is not None:
+            dirty |= graph.transitive_callers(touched)
+            graph.refresh_methods(touched)
+            dirty |= graph.transitive_callers(touched)
+        engine = self._app.get(SUMMARIES.name)
+        if engine is not None:
+            engine.invalidate_methods(dirty)
+        for key in (REQUESTS, RETRY_LOOPS, ICC_MODEL):
+            self._app.pop(key.name, None)
+        if self._context is not None:
+            self._context.retry_loops = []

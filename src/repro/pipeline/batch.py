@@ -1,0 +1,209 @@
+"""Parallel batch scanning (``nchecker scan --jobs N``).
+
+One worker process per job scans whole apps independently — the natural
+parallel grain, since every artifact in the store is per-APK.  Workers
+return :class:`ScanPayload` objects: fully *rendered* per-app output
+(report texts, JSON dicts, SARIF result objects) rather than live
+analysis objects, so the parent never re-derives anything and the bytes
+printed are the same whether one process produced them or eight.
+
+Determinism contract: ``ProcessPoolExecutor.map`` preserves input order,
+payload rendering is a pure function of one app, and ``--jobs 1`` runs
+the *same* payload function in-process — so the CLI output is
+byte-identical across job counts, by construction.
+
+:func:`scan_corpus` applies the same fan-out to the synthetic evaluation
+corpus (generation is deterministic per app index, so workers regenerate
+their slice instead of shipping APKs over the pipe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..core.checker import NCheckerOptions
+
+if TYPE_CHECKING:
+    from ..core.checker import ScanResult
+    from ..corpus.profiles import CorpusProfile
+
+
+@dataclass(frozen=True)
+class _ScanTask:
+    """Picklable work order for one app file."""
+
+    path: str
+    options: NCheckerOptions
+    want_json: bool
+    want_sarif: bool
+    want_stats: bool
+    want_summary: bool
+
+
+@dataclass
+class ScanPayload:
+    """Rendered scan output for one app (or the error that prevented it).
+
+    Everything the CLI prints is pre-rendered here, in the worker, so the
+    parent process only concatenates strings — the key to byte-identical
+    output across ``--jobs`` values.
+    """
+
+    path: str
+    ok: bool
+    error: str = ""
+    package: str = ""
+    n_findings: int = 0
+    n_requests: int = 0
+    #: ``(label, value)`` rows from ``app_metrics`` (``--stats``).
+    stats_rows: list = field(default_factory=list)
+    #: Sorted ``(kind, count)`` pairs (``--summary``).
+    summary_counts: list = field(default_factory=list)
+    #: Rendered §4.6 warning reports (default output mode).
+    report_texts: list = field(default_factory=list)
+    #: ``ScanResult.to_dict()`` (``--json``).
+    json_dict: Optional[dict] = None
+    #: Finding kind values + SARIF result objects (``--sarif``).
+    sarif_kind_values: list = field(default_factory=list)
+    sarif_results: list = field(default_factory=list)
+
+
+def _scan_payload(task: _ScanTask) -> ScanPayload:
+    """Scan one app file and render its output (module-level so it can be
+    dispatched to a worker process)."""
+    from ..app.loader import load_apk
+    from ..ir.parser import ParseError
+
+    try:
+        apk = load_apk(task.path)
+    except FileNotFoundError:
+        return ScanPayload(task.path, ok=False,
+                           error=f"error: no such file: {task.path}")
+    except (ParseError, ValueError) as exc:
+        return ScanPayload(task.path, ok=False,
+                           error=f"error: {task.path}: {exc}")
+
+    from ..core.checker import NChecker
+
+    result = NChecker(options=task.options).scan(apk)
+    payload = ScanPayload(
+        task.path,
+        ok=True,
+        package=apk.package,
+        n_findings=len(result.findings),
+        n_requests=len(result.requests),
+    )
+    if task.want_json:
+        payload.json_dict = result.to_dict()
+    if task.want_sarif:
+        from ..eval.sarif import finding_result
+
+        uri = Path(task.path).as_posix()
+        payload.sarif_kind_values = [f.kind.value for f in result.findings]
+        payload.sarif_results = [finding_result(f, uri) for f in result.findings]
+    if task.want_json or task.want_sarif:
+        return payload  # machine output modes print nothing per app
+    if task.want_stats:
+        from ..ir.metrics import app_metrics
+
+        payload.stats_rows = list(app_metrics(apk).as_rows())
+    if task.want_summary:
+        payload.summary_counts = sorted(result.summary().items())
+    else:
+        payload.report_texts = [report.render() for report in result.reports()]
+    return payload
+
+
+@dataclass
+class BatchScanner:
+    """Fan app scans across processes with input-order-stable output.
+
+    ``jobs <= 1`` runs the identical payload function in-process; any
+    higher value uses a ``ProcessPoolExecutor`` whose ``map`` preserves
+    input order, so results are deterministic either way.
+    """
+
+    options: NCheckerOptions = NCheckerOptions()
+    jobs: int = 1
+
+    def scan_paths(
+        self,
+        paths: Sequence[str],
+        *,
+        want_json: bool = False,
+        want_sarif: bool = False,
+        want_stats: bool = False,
+        want_summary: bool = False,
+    ) -> list[ScanPayload]:
+        tasks = [
+            _ScanTask(str(path), self.options, want_json, want_sarif,
+                      want_stats, want_summary)
+            for path in paths
+        ]
+        return self._map(_scan_payload, tasks)
+
+    def _map(self, fn, tasks: list) -> list:
+        if self.jobs <= 1 or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
+            return list(pool.map(fn, tasks))
+
+
+# ---------------------------------------------------------------------------
+# Corpus fan-out (experiments / benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def _scan_corpus_chunk(task) -> list:
+    """Regenerate and scan one slice of corpus app indices."""
+    profile, indices, options = task
+    from ..core.checker import NChecker
+    from ..corpus.generator import CorpusGenerator
+
+    generator = CorpusGenerator(profile)
+    checker = NChecker(options=options)
+    out = []
+    for index in indices:
+        apk, _truth = generator.generate_app(index)
+        out.append((index, checker.scan(apk)))
+    return out
+
+
+def scan_corpus(
+    profile: "CorpusProfile",
+    n_apps: int,
+    jobs: int = 1,
+    options: NCheckerOptions = NCheckerOptions(),
+) -> "list[ScanResult]":
+    """Scan the synthetic corpus, optionally across worker processes.
+
+    Returns results in app-index order regardless of ``jobs`` (generation
+    is deterministic per index, so workers regenerate their own slice and
+    the parent just reorders).
+    """
+    profile = profile.scaled(n_apps)
+    if jobs <= 1 or n_apps <= 1:
+        from ..core.checker import NChecker
+        from ..corpus.generator import CorpusGenerator
+
+        generator = CorpusGenerator(profile)
+        checker = NChecker(options=options)
+        return [checker.scan(apk) for apk, _ in generator.iter_apps()]
+    workers = min(jobs, n_apps)
+    # Round-robin slices balance the load; the final sort restores input
+    # order.
+    chunks = [
+        (profile, tuple(range(start, n_apps, workers)), options)
+        for start in range(workers)
+    ]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        indexed = [pair for chunk in pool.map(_scan_corpus_chunk, chunks)
+                   for pair in chunk]
+    indexed.sort(key=lambda pair: pair[0])
+    return [result for _index, result in indexed]

@@ -1,0 +1,181 @@
+"""Scan sessions: the pass pipeline executed over one artifact store.
+
+A :class:`ScanSession` owns the :class:`~repro.pipeline.artifacts.
+ArtifactStore` of one APK and runs the enabled checks as scheduled
+passes: the plan (from :mod:`repro.pipeline.passes`) says which passes
+run in which order and which app artifacts they need; the session builds
+exactly those, injects them into the shared ``AnalysisContext``, runs
+the passes, and assembles the :class:`~repro.core.checker.ScanResult`
+exactly as the hand-sequenced orchestrator did.
+
+Sessions are the unit of incrementality: the patcher holds one session
+per app, reports the methods each patch round touched, and
+:meth:`ScanSession.invalidate_methods` narrows the rebuild to the dirty
+region.  :class:`SessionCache` gives ``NChecker`` its repeat-scan
+behaviour (one session per package, keyed by the structural
+fingerprint, LRU-bounded for corpus sweeps) — the successor of the old
+per-APK ``SummaryCache``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..dataflow.summaries import apk_fingerprint
+from .artifacts import ICC_MODEL, REQUESTS, RETRY_LOOPS, SUMMARIES, ArtifactStore
+from .passes import ScanPlan, ScheduledPass, build_plan, order_passes, resolve_reads
+
+if TYPE_CHECKING:
+    from ..app.apk import APK
+    from ..callgraph.entrypoints import MethodKey
+    from ..core.checker import NCheckerOptions, ScanResult
+    from ..libmodels.annotations import LibraryRegistry
+
+
+class ScanSession:
+    """One APK's pass pipeline over its artifact store."""
+
+    def __init__(
+        self,
+        apk: "APK",
+        registry: "LibraryRegistry",
+        options: "NCheckerOptions",
+    ) -> None:
+        self.apk = apk
+        self.registry = registry
+        self.options = options
+        self.store = ArtifactStore(apk, registry)
+
+    # -- pass construction ---------------------------------------------------
+
+    def _build_passes(self):
+        """Fresh check instances for one scan (their per-request info maps
+        are part of the scan's result), as (pass, enabled, instance)
+        bookkeeping the result assembly needs."""
+        from ..core.checks.config_apis import ConfigAPICheck
+        from ..core.checks.connectivity import ConnectivityCheck
+        from ..core.checks.notification import NotificationCheck
+        from ..core.checks.response import ResponseCheck
+        from ..core.checks.retry_params import RetryParameterCheck
+
+        opts = self.options
+        enabled = opts.enabled_checks
+        icc_model = None
+        if opts.inter_component and (
+            "connectivity" in enabled or "failure-notification" in enabled
+        ):
+            icc_model = self.store.get(ICC_MODEL)
+
+        config_check = ConfigAPICheck()
+        notification_check = NotificationCheck(
+            opts.notification_callee_depth, icc_model=icc_model
+        )
+        checks = [
+            config_check,
+            ConnectivityCheck(
+                guard_aware=opts.guard_aware_connectivity,
+                interprocedural=opts.interprocedural_connectivity,
+                icc_model=icc_model,
+            ),
+            RetryParameterCheck(config_check),
+            notification_check,
+            ResponseCheck(),
+        ]
+        scheduled = [
+            ScheduledPass(check, resolve_reads(check.reads(opts)))
+            for check in checks
+            if check.name in enabled
+        ]
+        if opts.check_network_switch:
+            from ..core.checks.network_switch import NetworkSwitchCheck
+
+            switch = NetworkSwitchCheck()
+            scheduled.append(ScheduledPass(switch, resolve_reads(switch.reads(opts))))
+        return scheduled, config_check, notification_check
+
+    def plan(self) -> ScanPlan:
+        """The scan plan under the current options (no artifacts built,
+        except the ICC model when inter-component passes are enabled)."""
+        scheduled, _config, _notification = self._build_passes()
+        return build_plan(scheduled)
+
+    # -- execution -----------------------------------------------------------
+
+    def scan(self) -> "ScanResult":
+        """Run the pipeline: build planned artifacts, run passes in
+        dependency order, assemble the result."""
+        from ..core.checker import ScanResult
+        from ..core.findings import Finding
+
+        scheduled, config_check, notification_check = self._build_passes()
+        plan = build_plan(scheduled)
+        store = self.store
+
+        ctx = store.context
+        ctx.summaries = store.get(SUMMARIES) if plan.builds(SUMMARIES) else None
+        requests = store.get(REQUESTS)
+        retry_loops = store.get(RETRY_LOOPS) if plan.builds(RETRY_LOOPS) else []
+        ctx.retry_loops = retry_loops
+
+        findings: list[Finding] = []
+        for scheduled_pass in order_passes(scheduled):
+            findings.extend(scheduled_pass.check.run(ctx, requests))
+
+        findings.sort(key=lambda f: (f.method_key, f.stmt_index, f.kind.value))
+        return ScanResult(
+            self.apk,
+            requests,
+            findings,
+            retry_loops,
+            config_info=dict(config_check.info_by_request),
+            notification_info=dict(notification_check.info_by_request),
+        )
+
+    # -- incrementality ------------------------------------------------------
+
+    def invalidate_methods(self, touched: "set[MethodKey]") -> None:
+        """Forward a patch round's touched-method report to the store."""
+        self.store.invalidate_methods(touched)
+
+    @property
+    def fingerprint(self) -> int:
+        return apk_fingerprint(self.apk)
+
+
+@dataclass
+class SessionCache:
+    """One scan session per APK package, keyed by structural fingerprint.
+
+    The successor of the per-APK ``SummaryCache``: a repeat ``scan()`` of
+    a structurally unchanged app reuses the whole artifact store (call
+    graph, CFGs, summaries, requests), and any statement inserted or
+    removed (the patcher's edits) changes the fingerprint and misses.
+    ``hits``/``misses`` keep the legacy counter semantics the ablation
+    benchmarks assert.
+    """
+
+    max_entries: int = 64
+    hits: int = 0
+    misses: int = 0
+    _sessions: dict[str, tuple[int, ScanSession]] = field(default_factory=dict)
+
+    def session_for(
+        self,
+        apk: "APK",
+        registry: "LibraryRegistry",
+        options: "NCheckerOptions",
+    ) -> ScanSession:
+        fingerprint = apk_fingerprint(apk)
+        entry = self._sessions.get(apk.package)
+        if entry is not None and entry[0] == fingerprint:
+            self.hits += 1
+            # Refresh LRU position.
+            self._sessions[apk.package] = self._sessions.pop(apk.package)
+            return entry[1]
+        self.misses += 1
+        session = ScanSession(apk, registry, options)
+        self._sessions[apk.package] = (fingerprint, session)
+        while len(self._sessions) > self.max_entries:
+            self._sessions.pop(next(iter(self._sessions)))
+        return session

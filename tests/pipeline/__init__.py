@@ -1,0 +1,1 @@
+"""Pass-pipeline tests: artifact store, scheduling, batch, incremental."""
