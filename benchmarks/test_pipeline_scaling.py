@@ -8,11 +8,15 @@ Two claims from the pass-pipeline refactor, measured:
   ≥2x assertion only applies on multi-core hosts (CI smoke runs may be
   single-core);
 * the incremental patch loop rebuilds only the dirty region after each
-  patch round — asserted via the artifact store's build counters, not
-  timing — while producing byte-identical fixed apps.
+  patch round — asserted via the public metrics snapshot
+  (``artifact.cfg.builds`` / ``artifact.invalidated_methods``), not by
+  reaching into store internals — while producing byte-identical fixed
+  apps.
 
-Both tests append their measurements to ``BENCH_pipeline.json`` in the
-working directory.
+Both tests read the telemetry through :mod:`repro.obs` — the
+snapshot/merge protocol the ``--metrics`` flag exposes — and append
+their measurements (including the merged per-pass timing fields) to
+``BENCH_pipeline.json`` in the working directory.
 """
 
 import json
@@ -24,6 +28,7 @@ from repro.app.loader import dumps_apk, loads_apk
 from repro.core import NChecker
 from repro.core.patcher import Patcher
 from repro.corpus import CorpusGenerator, PAPER_PROFILE
+from repro.obs import use_metrics
 from repro.pipeline.batch import scan_corpus
 
 BENCH_FILE = Path("BENCH_pipeline.json")
@@ -44,22 +49,41 @@ def _scan_signature(results) -> list:
     ]
 
 
+def _timing_fields(snapshot: dict) -> dict:
+    """The per-pass/per-artifact timing summary of a merged snapshot
+    (histogram reservoirs stripped — BENCH files stay small)."""
+    return {
+        name: {k: hist[k] for k in ("count", "total", "p50", "p95", "max")}
+        for name, hist in snapshot.get("histograms", {}).items()
+    }
+
+
 def test_batch_scan_scaling(benchmark):
     n_apps = 16
     cores = multiprocessing.cpu_count()
     jobs = min(4, cores)
+    serial_telemetry: dict = {}
+    parallel_telemetry: dict = {}
 
     def serial():
-        return scan_corpus(PAPER_PROFILE, n_apps, jobs=1)
+        serial_telemetry.clear()
+        return scan_corpus(PAPER_PROFILE, n_apps, jobs=1,
+                           telemetry=serial_telemetry)
 
     start = time.perf_counter()
-    parallel_results = scan_corpus(PAPER_PROFILE, n_apps, jobs=jobs)
+    parallel_results = scan_corpus(PAPER_PROFILE, n_apps, jobs=jobs,
+                                   telemetry=parallel_telemetry)
     parallel_s = time.perf_counter() - start
 
     serial_results = benchmark.pedantic(serial, rounds=1, iterations=1)
     serial_s = benchmark.stats.stats.mean
 
     assert _scan_signature(serial_results) == _scan_signature(parallel_results)
+    # The merged worker snapshots equal a serial run wherever the
+    # underlying quantity is deterministic: every counter, summed across
+    # the pool, must match.
+    assert serial_telemetry["counters"] == parallel_telemetry["counters"]
+    assert parallel_telemetry["counters"]["scan.apps"] == n_apps
     speedup = serial_s / parallel_s if parallel_s else float("inf")
     print(
         f"\nbatch scan of {n_apps} apps: serial {serial_s*1000:.0f} ms, "
@@ -76,6 +100,8 @@ def test_batch_scan_scaling(benchmark):
         "parallel_s": parallel_s,
         "speedup": speedup,
         "identical_results": True,
+        "counters": parallel_telemetry["counters"],
+        "timings": _timing_fields(parallel_telemetry),
     })
 
 
@@ -90,32 +116,41 @@ def test_incremental_patcher_convergence(benchmark):
         cfg_incremental_rounds = 0
         full_equivalent_rounds = 0
         invalidated = 0
+        snapshots = []
         for apk in buggy:
-            checker = NChecker()
-            working = loads_apk(dumps_apk(apk))
-            session = checker.open_session(working)
-            result = session.scan()
-            first = session.store.counters.builds_of("cfg")
-            cfg_first_scan += first
-            rounds = 0
-            while result.findings and rounds < 3:
-                outcome = patcher.patch_in_place(working, result)
-                if not outcome.applied:
-                    break
-                session.invalidate_methods(outcome.touched)
-                rounds += 1
+            # One registry per app: the store binds the registry active
+            # at session creation, so every artifact counter of this
+            # app's patch loop lands here — the public telemetry the
+            # assertions below read instead of store internals.
+            with use_metrics() as registry:
+                checker = NChecker()
+                working = loads_apk(dumps_apk(apk))
+                session = checker.open_session(working)
                 result = session.scan()
-            counters = session.store.counters
-            cfg_incremental_rounds += counters.builds_of("cfg") - first
-            full_equivalent_rounds += first * rounds
-            invalidated += counters.invalidated_methods
+                first = registry.counter_value("artifact.cfg.builds")
+                cfg_first_scan += first
+                rounds = 0
+                while result.findings and rounds < 3:
+                    outcome = patcher.patch_in_place(working, result)
+                    if not outcome.applied:
+                        break
+                    session.invalidate_methods(outcome.touched)
+                    rounds += 1
+                    result = session.scan()
+                cfg_incremental_rounds += (
+                    registry.counter_value("artifact.cfg.builds") - first
+                )
+                full_equivalent_rounds += first * rounds
+                invalidated += registry.counter_value(
+                    "artifact.invalidated_methods"
+                )
+                snapshots.append(registry.snapshot())
             fixed_blobs.append(dumps_apk(working))
         return (fixed_blobs, cfg_first_scan, cfg_incremental_rounds,
-                full_equivalent_rounds, invalidated)
+                full_equivalent_rounds, invalidated, snapshots)
 
-    (blobs, first, incremental_cfgs, full_equiv, invalidated) = benchmark.pedantic(
-        patch_incremental, rounds=1, iterations=1
-    )
+    (blobs, first, incremental_cfgs, full_equiv, invalidated,
+     snapshots) = benchmark.pedantic(patch_incremental, rounds=1, iterations=1)
     incremental_s = benchmark.stats.stats.mean
 
     start = time.perf_counter()
@@ -133,6 +168,9 @@ def test_incremental_patcher_convergence(benchmark):
         f"incremental rounds rebuilt {incremental_cfgs} CFGs, "
         f"full rescans would have rebuilt {full_equiv}"
     )
+    from repro.obs import merge_snapshots
+
+    merged = merge_snapshots(snapshots)
     print(
         f"\nincremental patching of {len(buggy)} apps: "
         f"{incremental_s*1000:.0f} ms vs full-rescan {full_s*1000:.0f} ms; "
@@ -148,4 +186,6 @@ def test_incremental_patcher_convergence(benchmark):
         "full_equivalent_cfg_builds": full_equiv,
         "methods_invalidated": invalidated,
         "identical_output": True,
+        "counters": merged["counters"],
+        "timings": _timing_fields(merged),
     })

@@ -20,6 +20,9 @@ from .core.checker import NChecker, NCheckerOptions
 from .corpus.generator import CorpusGenerator
 from .corpus.profiles import PAPER_PROFILE
 from .eval.experiments import EXPERIMENTS
+from .obs import get_logger
+
+log = get_logger("cli")
 
 
 def _cmd_scan(args: argparse.Namespace) -> int:
@@ -30,6 +33,21 @@ def _cmd_scan(args: argparse.Namespace) -> int:
     )
     from .pipeline.batch import BatchScanner
 
+    # --trace / --metrics / --stats all ride on the worker telemetry
+    # round-trip; none of them touch stdout, which stays byte-identical
+    # to an uninstrumented run (the table and notices go to stderr).
+    want_trace = bool(args.trace)
+    want_metrics = bool(args.metrics_out) or args.stats
+
+    progress = None
+    if args.progress:
+        def progress(done: int, total: int, payload) -> None:
+            label = payload.package if payload.ok else payload.path
+            log.info(
+                "[%d/%d] %s: %d finding(s), %d request(s)",
+                done, total, label, payload.n_findings, payload.n_requests,
+            )
+
     scanner = BatchScanner(options=options, jobs=args.jobs)
     payloads = scanner.scan_paths(
         args.apps,
@@ -37,6 +55,9 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         want_sarif=bool(args.sarif),
         want_stats=args.stats,
         want_summary=args.summary,
+        want_trace=want_trace,
+        want_metrics=want_metrics,
+        progress=progress,
     )
     exit_code = 0
     json_payload = []
@@ -75,17 +96,52 @@ def _cmd_scan(args: argparse.Namespace) -> int:
 
         from .eval.sarif import assemble_sarif_log
 
-        log = assemble_sarif_log(sarif_kinds, sarif_results)
+        sarif_log = assemble_sarif_log(sarif_kinds, sarif_results)
         try:
-            Path(args.sarif).write_text(json.dumps(log, indent=2))
+            Path(args.sarif).write_text(json.dumps(sarif_log, indent=2))
         except OSError as exc:
             print(f"error: cannot write SARIF log to {args.sarif}: {exc}",
                   file=sys.stderr)
             return 2
-        # Keep stdout pure JSON when --json streams the payload there.
-        print(f"wrote SARIF log for {len(payloads)} app(s) to {args.sarif}",
-              file=sys.stderr if args.json else sys.stdout)
+        # Diagnostics go through the logger (stderr), so machine-readable
+        # stdout (--json / --sarif) is never polluted.
+        log.info("wrote SARIF log for %d app(s) to %s", len(payloads), args.sarif)
+    if want_trace or want_metrics:
+        code = _write_scan_telemetry(args, payloads)
+        if code:
+            return code
     return exit_code
+
+
+def _write_scan_telemetry(args: argparse.Namespace, payloads) -> int:
+    """Merge worker telemetry and surface it (--trace/--metrics/--stats)."""
+    import json
+
+    from .obs import chrome_trace, merge_snapshots, render_telemetry
+
+    if args.trace:
+        events = [event for p in payloads for event in p.trace_events]
+        try:
+            Path(args.trace).write_text(json.dumps(chrome_trace(events)))
+        except OSError as exc:
+            print(f"error: cannot write trace to {args.trace}: {exc}",
+                  file=sys.stderr)
+            return 2
+        log.info("wrote Chrome trace (%d events) to %s", len(events), args.trace)
+    merged = merge_snapshots(
+        [p.metrics_snapshot for p in payloads if p.metrics_snapshot]
+    )
+    if args.metrics_out:
+        try:
+            Path(args.metrics_out).write_text(json.dumps(merged, indent=2))
+        except OSError as exc:
+            print(f"error: cannot write metrics to {args.metrics_out}: {exc}",
+                  file=sys.stderr)
+            return 2
+        log.info("wrote metrics snapshot to %s", args.metrics_out)
+    if args.stats:
+        print(render_telemetry(merged), file=sys.stderr)
+    return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -241,9 +297,21 @@ def main(argv: list[str] | None = None) -> int:
         description="Detect network programming defects (NPDs) in "
         "Android-style app binaries (.apkt).",
     )
+    # Logging verbosity rides on every subcommand (`nchecker scan -v ...`);
+    # diagnostics always go to stderr, so machine output stays clean.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="suppress diagnostic messages (errors only)",
+    )
+    common.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="enable debug diagnostics on stderr",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    scan = sub.add_parser("scan", help="scan app files for NPDs")
+    scan = sub.add_parser("scan", help="scan app files for NPDs",
+                          parents=[common])
     scan.add_argument("apps", nargs="+", help=".apkt files to scan")
     scan.add_argument(
         "--summary", action="store_true", help="print per-kind counts only"
@@ -261,7 +329,23 @@ def main(argv: list[str] | None = None) -> int:
         "horizon-limited analyses; ablation baseline)",
     )
     scan.add_argument(
-        "--stats", action="store_true", help="also print app code metrics"
+        "--stats", action="store_true",
+        help="also print app code metrics, plus the per-pass/per-artifact "
+        "telemetry table (stderr) after the scan",
+    )
+    scan.add_argument(
+        "--trace", metavar="FILE",
+        help="write a Chrome trace-event JSON of the scan to FILE "
+        "(open in Perfetto or chrome://tracing)",
+    )
+    scan.add_argument(
+        "--metrics", dest="metrics_out", metavar="FILE",
+        help="write the merged metrics snapshot (counters, timing "
+        "histograms) as JSON to FILE",
+    )
+    scan.add_argument(
+        "--progress", action="store_true",
+        help="emit a per-app heartbeat line on stderr as results land",
     )
     scan.add_argument(
         "-j", "--jobs", type=int, default=1, metavar="N",
@@ -281,7 +365,8 @@ def main(argv: list[str] | None = None) -> int:
     scan.set_defaults(func=_cmd_scan)
 
     experiments = sub.add_parser(
-        "experiments", help="regenerate the paper's tables and figures"
+        "experiments", help="regenerate the paper's tables and figures",
+        parents=[common],
     )
     experiments.add_argument("ids", nargs="*", help=f"subset of: {', '.join(EXPERIMENTS)}")
     experiments.add_argument(
@@ -290,7 +375,8 @@ def main(argv: list[str] | None = None) -> int:
     experiments.set_defaults(func=_cmd_experiments)
 
     patch = sub.add_parser(
-        "patch", help="apply fix suggestions and write a patched .apkt"
+        "patch", help="apply fix suggestions and write a patched .apkt",
+        parents=[common],
     )
     patch.add_argument("apps", nargs="+", help=".apkt files to patch")
     patch.add_argument(
@@ -300,14 +386,16 @@ def main(argv: list[str] | None = None) -> int:
     patch.set_defaults(func=_cmd_patch, parser=patch)
 
     diff = sub.add_parser(
-        "diff", help="compare the findings of two app versions"
+        "diff", help="compare the findings of two app versions",
+        parents=[common],
     )
     diff.add_argument("before")
     diff.add_argument("after")
     diff.set_defaults(func=_cmd_diff)
 
     run = sub.add_parser(
-        "run", help="execute an app's entry points against a simulated network"
+        "run", help="execute an app's entry points against a simulated network",
+        parents=[common],
     )
     run.add_argument("app", help=".apkt file to run")
     run.add_argument(
@@ -322,7 +410,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     run.set_defaults(func=_cmd_run)
 
-    corpus = sub.add_parser("corpus", help="emit the synthetic corpus as .apkt files")
+    corpus = sub.add_parser(
+        "corpus", help="emit the synthetic corpus as .apkt files",
+        parents=[common],
+    )
     corpus.add_argument("directory")
     corpus.add_argument("--apps", type=int, default=285)
     corpus.add_argument(
@@ -332,6 +423,9 @@ def main(argv: list[str] | None = None) -> int:
     corpus.set_defaults(func=_cmd_corpus)
 
     args = parser.parse_args(argv)
+    from .obs import configure_logging
+
+    configure_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))
     return args.func(args)
 
 

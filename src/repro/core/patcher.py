@@ -37,6 +37,8 @@ from typing import Optional
 from ..app.apk import APK
 from ..app.loader import dumps_apk, loads_apk
 from ..callgraph.entrypoints import MethodKey, method_key
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from ..ir.method import IRMethod
 from ..ir.statements import (
     AssignStmt,
@@ -135,23 +137,30 @@ class Patcher:
         """
         outcome = PatchResult(apk)
 
-        # Group by target method and apply bottom-up so earlier statement
-        # indices stay valid across insertions.
-        per_method: dict[MethodKey, list[Finding]] = {}
-        for finding in result.findings:
-            per_method.setdefault(self._target_method_key(finding), []).append(finding)
+        with span("patch-round", package=apk.package):
+            # Group by target method and apply bottom-up so earlier statement
+            # indices stay valid across insertions.
+            per_method: dict[MethodKey, list[Finding]] = {}
+            for finding in result.findings:
+                per_method.setdefault(
+                    self._target_method_key(finding), []
+                ).append(finding)
 
-        for key, findings in per_method.items():
-            method = self._resolve(apk, key)
-            if method is None:
-                for finding in findings:
-                    outcome.skipped.append((finding, f"method {key} not found"))
-                continue
-            for finding in sorted(
-                findings, key=lambda f: self._anchor_index(f), reverse=True
-            ):
-                self._apply_one(apk, method, finding, outcome)
-            method.validate()
+            for key, findings in per_method.items():
+                method = self._resolve(apk, key)
+                if method is None:
+                    for finding in findings:
+                        outcome.skipped.append((finding, f"method {key} not found"))
+                    continue
+                for finding in sorted(
+                    findings, key=lambda f: self._anchor_index(f), reverse=True
+                ):
+                    self._apply_one(apk, method, finding, outcome)
+                method.validate()
+        registry = obs_metrics()
+        registry.inc("patcher.rounds")
+        registry.inc("patcher.patches_applied", len(outcome.applied))
+        registry.observe("patcher.touched_methods", len(outcome.touched))
         return outcome
 
     def patch_until_clean(
@@ -195,6 +204,7 @@ class Patcher:
             if not outcome.applied:
                 break  # nothing more we can do
             session.invalidate_methods(outcome.touched)
+            obs_metrics().inc("patcher.incremental_rescans")
         return working, applied
 
     # -- dispatch -------------------------------------------------------

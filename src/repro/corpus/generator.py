@@ -19,6 +19,8 @@ from typing import Iterator
 
 from ..app.apk import APK
 from ..ir.builder import MethodBuilder
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from .appbuilder import AppBuilder
 from .groundtruth import AppGroundTruth
 from .profiles import CorpusProfile
@@ -94,19 +96,24 @@ class CorpusGenerator:
             yield self.generate_app(index)
 
     def generate_app(self, index: int) -> tuple[APK, AppGroundTruth]:
-        rng = random.Random(f"{self.profile.seed}:{index}")
-        style = self._draw_style(rng)
-        package = f"com.corpus.app{index:04d}"
-        app = AppBuilder(package)
-        truth = AppGroundTruth(package)
-        builder_state = _AppAssembler(app, style, rng)
-        forcing = _ForcingState()
-        for i in range(style.n_requests):
-            spec, in_service = self._draw_spec(rng, style, i, forcing)
-            record = builder_state.place_request(spec, in_service)
-            truth.requests.append(record)
-        builder_state.finish()
-        return app.build(), truth
+        registry = obs_metrics()
+        with span("corpus:generate-app", index=index), registry.timer(
+            "corpus.generate_ms"
+        ):
+            rng = random.Random(f"{self.profile.seed}:{index}")
+            style = self._draw_style(rng)
+            package = f"com.corpus.app{index:04d}"
+            app = AppBuilder(package)
+            truth = AppGroundTruth(package)
+            builder_state = _AppAssembler(app, style, rng)
+            forcing = _ForcingState()
+            for i in range(style.n_requests):
+                spec, in_service = self._draw_spec(rng, style, i, forcing)
+                record = builder_state.place_request(spec, in_service)
+                truth.requests.append(record)
+            builder_state.finish()
+            registry.inc("corpus.apps_generated")
+            return app.build(), truth
 
     # -- draws ------------------------------------------------------------------
 

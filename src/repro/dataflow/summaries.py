@@ -48,6 +48,8 @@ from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..callgraph.scc import condensation_order
 from ..ir.method import IRMethod
+from ..obs import metrics as obs_metrics
+from ..obs import span
 from ..ir.statements import AssignStmt, ReturnStmt
 from ..ir.values import ArrayRef, CastExpr, FieldRef, InvokeExpr, Local, locals_in
 from ..libmodels.android import (
@@ -154,10 +156,13 @@ class SummaryEngine:
 
     def _ensure_scc_order(self) -> tuple[list, dict]:
         if self._scc_order is None:
-            keys = list(self.graph.methods)
-            self._scc_order = condensation_order(
-                keys, lambda k: [e.callee for e in self.graph.callees(k)]
-            )
+            registry = obs_metrics()
+            with span("scc-condensation"), registry.timer("scc.build_ms"):
+                keys = list(self.graph.methods)
+                self._scc_order = condensation_order(
+                    keys, lambda k: [e.callee for e in self.graph.callees(k)]
+                )
+            registry.set_gauge("scc.components", len(self._scc_order[0]))
         return self._scc_order
 
     @property
@@ -181,6 +186,7 @@ class SummaryEngine:
         one cheap pass on next use.
         """
         keys = set(keys)
+        obs_metrics().observe("dataflow.invalidation_cone", len(keys))
         self._scc_order = None
         self._bool_facts.clear()
         self._widened -= keys
@@ -209,6 +215,7 @@ class SummaryEngine:
         if cached is not None:
             return cached
         self.stats.bool_fact_passes += 1
+        obs_metrics().inc("dataflow.bool_fact_passes")
         facts: dict["MethodKey", bool] = {}
         for scc in self.sccs:
             values: dict["MethodKey", bool] = {}
@@ -304,7 +311,9 @@ class SummaryEngine:
             for idx, stmt in enumerate(method.statements)
             if isinstance(stmt, ReturnStmt) and isinstance(stmt.value, Local)
         ]
+        iterations = 0
         while worklist:
+            iterations += 1
             at, name = worklist.pop()
             if (at, name) in seen:
                 continue
@@ -332,6 +341,8 @@ class SummaryEngine:
                     # (object-level heap model); allocations and constants
                     # are fresh values — the walk stops there.
                     worklist.extend((def_site, lc.name) for lc in locals_in(value))
+        if iterations:
+            obs_metrics().inc("dataflow.worklist_iterations", iterations)
         return frozenset(positions)
 
     def _invoke_carriers(
@@ -344,6 +355,7 @@ class SummaryEngine:
             # operand may flow through (the TaintPolicy treatment).
             if callee in self._ptr_in_progress:
                 self.stats.widenings += 1
+                obs_metrics().inc("dataflow.widenings")
                 self._widened.add(key)
             return locals_in(invoke)
         transfer = self.params_to_return(callee)
@@ -368,6 +380,7 @@ class SummaryEngine:
         memo_key = (key, position)
         if memo_key in self._config_in_progress:
             self.stats.widenings += 1
+            obs_metrics().inc("dataflow.widenings")
             self._widened.add(key)
             return CONFIG_TOP
         cached = self._config.get(memo_key)

@@ -57,6 +57,8 @@ class ExperimentReport:
 
 #: (seed, n_apps) -> scan results, shared across experiments in-process.
 _SCAN_CACHE: dict[tuple[int, int], list[ScanResult]] = {}
+#: (seed, n_apps) -> merged metrics snapshot of the cached scan.
+_TELEMETRY_CACHE: dict[tuple[int, int], dict] = {}
 
 
 def corpus_scan(
@@ -81,8 +83,21 @@ def corpus_scan(
             jobs = int(os.environ.get("NCHECKER_JOBS", "1"))
         from ..pipeline.batch import scan_corpus
 
-        _SCAN_CACHE[key] = scan_corpus(profile, n_apps, jobs=jobs)
+        telemetry: dict = {}
+        _SCAN_CACHE[key] = scan_corpus(
+            profile, n_apps, jobs=jobs, telemetry=telemetry
+        )
+        _TELEMETRY_CACHE[key] = telemetry
     return _SCAN_CACHE[key]
+
+
+def corpus_telemetry(n_apps: int = 285, seed: Optional[int] = None) -> dict:
+    """The merged metrics snapshot of the (cached) corpus scan — public
+    per-pass/per-artifact accounting for benchmarks and reports."""
+    profile_seed = PAPER_PROFILE.seed if seed is None else seed
+    if (profile_seed, n_apps) not in _TELEMETRY_CACHE:
+        corpus_scan(n_apps, seed=seed)
+    return _TELEMETRY_CACHE[(profile_seed, n_apps)]
 
 
 # -- individual experiments -----------------------------------------------------
@@ -177,6 +192,10 @@ def run_table6(n_apps: int = 285) -> ExperimentReport:
     data["total_npds"] = total_npds
     data["buggy_apps"] = buggy_apps
     data["n_apps"] = len(results)
+    # Public per-pass/per-artifact accounting of the scan that produced
+    # this table (counters only — timings vary run to run and would break
+    # deterministic exports).
+    data["telemetry"] = dict(corpus_telemetry(n_apps).get("counters", {}))
     return ExperimentReport("table6", "Detection effectiveness", text, data)
 
 

@@ -1,0 +1,60 @@
+"""Observability: structured tracing, metrics, and diagnostic logging.
+
+The telemetry subsystem behind ``nchecker scan --trace/--metrics/--stats
+/--progress`` (see ``docs/OBSERVABILITY.md``):
+
+* :mod:`repro.obs.trace` — span-based tracer (context-manager API,
+  near-zero overhead when disabled) with Chrome trace-event export;
+* :mod:`repro.obs.metrics` — counters / gauges / timing histograms with
+  a serializable snapshot/merge protocol for process-pool workers;
+* :mod:`repro.obs.log` — the ``nchecker`` diagnostic logger tree
+  (stderr-only, so machine-readable stdout stays clean);
+* :mod:`repro.obs.render` — the ``--stats`` telemetry table.
+
+Instrumented code uses the two module-level accessors::
+
+    from ..obs import metrics, span
+
+    with span("pass:connectivity"):
+        with metrics().timer("pass.connectivity.wall_ms"):
+            ...
+"""
+
+from .log import configure_logging, get_logger
+from .metrics import (
+    MetricsRegistry,
+    empty_snapshot,
+    merge_snapshots,
+    metrics,
+    set_metrics,
+    use_metrics,
+)
+from .render import render_telemetry
+from .trace import (
+    NULL_SPAN,
+    Tracer,
+    chrome_trace,
+    set_tracer,
+    span,
+    tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "Tracer",
+    "chrome_trace",
+    "configure_logging",
+    "empty_snapshot",
+    "get_logger",
+    "merge_snapshots",
+    "metrics",
+    "render_telemetry",
+    "set_metrics",
+    "set_tracer",
+    "span",
+    "tracer",
+    "use_metrics",
+    "use_tracer",
+]

@@ -1,0 +1,54 @@
+"""Diagnostic logging under one ``nchecker`` logger tree.
+
+Everything that is *about* a run rather than *output of* a run — "wrote
+SARIF log to ...", per-app progress heartbeats, debug chatter — goes
+through :func:`get_logger` so machine-readable stdout (``--json`` /
+``--sarif`` / report text) is never polluted: the handler writes to
+whatever ``sys.stderr`` is at emit time (so pytest capture and stream
+redirection both work), and ``--quiet`` / ``--verbose`` move one level
+knob instead of hunting down prints.
+
+Verbosity mapping (:func:`configure_logging`): ``-1`` or lower → errors
+only, ``0`` (default) → info, ``1`` or higher → debug.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT_LOGGER = "nchecker"
+
+
+class _DynamicStderrHandler(logging.Handler):
+    """Writes to the *current* ``sys.stderr`` (looked up per record, not
+    captured at handler creation — test harnesses swap the stream)."""
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            sys.stderr.write(self.format(record) + "\n")
+        except Exception:  # pragma: no cover - never raise out of logging
+            self.handleError(record)
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``nchecker`` logger, or a child (``get_logger("cli")``)."""
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Attach the stderr handler (idempotent) and set the level from the
+    CLI's ``--quiet``/``--verbose`` count."""
+    logger = get_logger()
+    if not any(isinstance(h, _DynamicStderrHandler) for h in logger.handlers):
+        handler = _DynamicStderrHandler()
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(handler)
+    logger.propagate = False
+    if verbosity < 0:
+        logger.setLevel(logging.ERROR)
+    elif verbosity == 0:
+        logger.setLevel(logging.INFO)
+    else:
+        logger.setLevel(logging.DEBUG)
+    return logger

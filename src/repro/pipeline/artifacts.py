@@ -23,10 +23,14 @@ makes targeted invalidation of in-place-mutated methods possible.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..callgraph.entrypoints import MethodKey, method_key
+from ..obs import span
+from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import metrics as active_metrics
 
 if TYPE_CHECKING:
     from ..app.apk import APK
@@ -77,26 +81,46 @@ ARTIFACTS: dict[str, ArtifactKey] = {
 }
 
 
-@dataclass
 class ArtifactCounters:
-    """Build/hit accounting, exposed to the benchmarks so incrementality
-    claims ("only the dirty region rebuilt") are assertable."""
+    """Build/hit accounting — a read view over the store's local
+    :class:`~repro.obs.metrics.MetricsRegistry`.
 
-    builds: dict[str, int] = field(default_factory=dict)
-    hits: dict[str, int] = field(default_factory=dict)
-    invalidated_methods: int = 0
+    The bespoke dict counters this class used to hold now live as
+    ``artifact.<kind>.builds`` / ``artifact.<kind>.hits`` /
+    ``artifact.invalidated_methods`` counters in the telemetry registry
+    (one per store, mirrored into the active global registry so
+    ``--metrics`` snapshots see them); the accessors keep the benchmark
+    and test API of the pre-telemetry counters.
+    """
 
-    def build(self, name: str) -> None:
-        self.builds[name] = self.builds.get(name, 0) + 1
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
 
-    def hit(self, name: str) -> None:
-        self.hits[name] = self.hits.get(name, 0) + 1
+    @property
+    def builds(self) -> dict[str, int]:
+        return self._per_kind("builds")
+
+    @property
+    def hits(self) -> dict[str, int]:
+        return self._per_kind("hits")
+
+    @property
+    def invalidated_methods(self) -> int:
+        return self._registry.counter_value("artifact.invalidated_methods")
 
     def builds_of(self, name: str) -> int:
-        return self.builds.get(name, 0)
+        return self._registry.counter_value(f"artifact.{name}.builds")
 
     def hits_of(self, name: str) -> int:
-        return self.hits.get(name, 0)
+        return self._registry.counter_value(f"artifact.{name}.hits")
+
+    def _per_kind(self, event: str) -> dict[str, int]:
+        suffix = f".{event}"
+        out: dict[str, int] = {}
+        for name, value in self._registry.snapshot()["counters"].items():
+            if name.startswith("artifact.") and name.endswith(suffix) and value:
+                out[name[len("artifact."):-len(suffix)]] = value
+        return out
 
 
 class ArtifactStore:
@@ -105,7 +129,12 @@ class ArtifactStore:
     def __init__(self, apk: "APK", registry: "LibraryRegistry") -> None:
         self.apk = apk
         self.registry = registry
-        self.counters = ArtifactCounters()
+        #: Store-local telemetry, mirrored into the registry that was
+        #: active when the store was created (batch workers install a
+        #: fresh one per app and ship its snapshot back to the parent).
+        self.metrics = MetricsRegistry()
+        self._global = active_metrics()
+        self.counters = ArtifactCounters(self.metrics)
         self._app: dict[str, object] = {}
         self._cfgs: dict[MethodKey, "CFGGraph"] = {}
         self._defuse: dict[MethodKey, "DefUseChains"] = {}
@@ -118,6 +147,20 @@ class ArtifactStore:
             ICC_MODEL.name: self._build_icc_model,
         }
 
+    # -- telemetry -----------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        """Bump a counter in the store-local registry and, when distinct,
+        the active global one (so ``--metrics`` snapshots include it)."""
+        self.metrics.counter(name).inc(n)
+        if self._global is not self.metrics:
+            self._global.counter(name).inc(n)
+
+    def _observe(self, name: str, value: float) -> None:
+        self.metrics.observe(name, value)
+        if self._global is not self.metrics:
+            self._global.observe(name, value)
+
     # -- app-scoped artifacts ------------------------------------------------
 
     def get(self, key: ArtifactKey):
@@ -129,12 +172,18 @@ class ArtifactStore:
                 f"(store.cfg/defuse), not via get()"
             )
         if key.name in self._app:
-            self.counters.hit(key.name)
+            self._count(f"artifact.{key.name}.hits")
             return self._app[key.name]
         for dep in key.deps:
             self.get(ARTIFACTS[dep])
-        self.counters.build(key.name)
-        value = self._builders[key.name]()
+        self._count(f"artifact.{key.name}.builds")
+        with span(f"artifact:{key.name}", package=self.apk.package):
+            start = time.perf_counter()
+            value = self._builders[key.name]()
+            self._observe(
+                f"artifact.{key.name}.build_ms",
+                (time.perf_counter() - start) * 1000.0,
+            )
         self._app[key.name] = value
         return value
 
@@ -161,7 +210,13 @@ class ArtifactStore:
     def _build_callgraph(self) -> "CallGraph":
         from ..callgraph.cha import CallGraph
 
-        return CallGraph(self.apk, self.registry, self)
+        graph = CallGraph(self.apk, self.registry, self)
+        self._global.set_gauge("callgraph.methods", len(graph.methods))
+        self._global.set_gauge(
+            "callgraph.edges",
+            sum(len(edges) for edges in graph.out_edges.values()),
+        )
+        return graph
 
     def _build_summaries(self) -> "SummaryEngine":
         from ..dataflow.summaries import SummaryEngine
@@ -189,12 +244,15 @@ class ArtifactStore:
         key = method_key(method)
         cached = self._cfgs.get(key)
         if cached is not None:
-            self.counters.hit(CFG.name)
+            self._count("artifact.cfg.hits")
             return cached
         from ..cfg.graph import CFG as CFGGraph
 
-        self.counters.build(CFG.name)
+        self._count("artifact.cfg.builds")
+        start = time.perf_counter()
         built = CFGGraph(method)
+        self._observe("artifact.cfg.build_ms",
+                      (time.perf_counter() - start) * 1000.0)
         self._cfgs[key] = built
         return built
 
@@ -202,12 +260,16 @@ class ArtifactStore:
         key = method_key(method)
         cached = self._defuse.get(key)
         if cached is not None:
-            self.counters.hit(DEFUSE.name)
+            self._count("artifact.defuse.hits")
             return cached
         from ..dataflow.reaching import DefUseChains
 
-        self.counters.build(DEFUSE.name)
-        built = DefUseChains(self.cfg(method))
+        self._count("artifact.defuse.builds")
+        cfg = self.cfg(method)
+        start = time.perf_counter()
+        built = DefUseChains(cfg)
+        self._observe("artifact.defuse.build_ms",
+                      (time.perf_counter() - start) * 1000.0)
         self._defuse[key] = built
         return built
 
@@ -233,7 +295,7 @@ class ArtifactStore:
         touched = set(touched)
         if not touched:
             return
-        self.counters.invalidated_methods += len(touched)
+        self._count("artifact.invalidated_methods", len(touched))
         for key in touched:
             self._cfgs.pop(key, None)
             self._defuse.pop(key, None)

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
 
 from ..core.checker import NCheckerOptions
+from ..obs import MetricsRegistry, Tracer, set_metrics, set_tracer, span
 
 if TYPE_CHECKING:
     from ..core.checker import ScanResult
@@ -40,6 +41,11 @@ class _ScanTask:
     want_sarif: bool
     want_stats: bool
     want_summary: bool
+    #: Collect span events / a metrics snapshot for this app.  Workers
+    #: install a fresh tracer/registry per task and ship the export back
+    #: in the payload; the parent merges (`--trace`/`--metrics`/`--stats`).
+    want_trace: bool = False
+    want_metrics: bool = False
 
 
 @dataclass
@@ -68,16 +74,47 @@ class ScanPayload:
     #: Finding kind values + SARIF result objects (``--sarif``).
     sarif_kind_values: list = field(default_factory=list)
     sarif_results: list = field(default_factory=list)
+    #: Chrome trace events from this app's scan (``--trace``).
+    trace_events: list = field(default_factory=list)
+    #: Metrics snapshot of this app's scan (``--metrics``/``--stats``).
+    metrics_snapshot: Optional[dict] = None
 
 
 def _scan_payload(task: _ScanTask) -> ScanPayload:
     """Scan one app file and render its output (module-level so it can be
-    dispatched to a worker process)."""
+    dispatched to a worker process).
+
+    When the task asks for telemetry, a fresh tracer/registry pair is
+    installed for the duration of the scan and its export travels back in
+    the payload — the parent merges across workers, so the telemetry of a
+    ``--jobs N`` run is the sum of per-app snapshots regardless of which
+    process scanned which app.
+    """
+    if not (task.want_trace or task.want_metrics):
+        return _render_payload(task)
+    trace = Tracer(enabled=task.want_trace)
+    registry = MetricsRegistry()
+    old_tracer = set_tracer(trace)
+    old_metrics = set_metrics(registry)
+    try:
+        payload = _render_payload(task)
+    finally:
+        set_tracer(old_tracer)
+        set_metrics(old_metrics)
+    if task.want_trace:
+        payload.trace_events = trace.export()
+    if task.want_metrics:
+        payload.metrics_snapshot = registry.snapshot()
+    return payload
+
+
+def _render_payload(task: _ScanTask) -> ScanPayload:
     from ..app.loader import load_apk
     from ..ir.parser import ParseError
 
     try:
-        apk = load_apk(task.path)
+        with span("load", path=task.path):
+            apk = load_apk(task.path)
     except FileNotFoundError:
         return ScanPayload(task.path, ok=False,
                            error=f"error: no such file: {task.path}")
@@ -136,21 +173,37 @@ class BatchScanner:
         want_sarif: bool = False,
         want_stats: bool = False,
         want_summary: bool = False,
+        want_trace: bool = False,
+        want_metrics: bool = False,
+        progress: Optional[Callable[[int, int, ScanPayload], None]] = None,
     ) -> list[ScanPayload]:
+        """Scan ``paths``; ``progress(done, total, payload)`` is invoked
+        as each app's payload lands (in input order — the heartbeat the
+        CLI's ``--progress`` prints)."""
         tasks = [
             _ScanTask(str(path), self.options, want_json, want_sarif,
-                      want_stats, want_summary)
+                      want_stats, want_summary, want_trace, want_metrics)
             for path in paths
         ]
-        return self._map(_scan_payload, tasks)
+        return self._map(_scan_payload, tasks, progress)
 
-    def _map(self, fn, tasks: list) -> list:
+    def _map(self, fn, tasks: list, progress=None) -> list:
         if self.jobs <= 1 or len(tasks) <= 1:
-            return [fn(task) for task in tasks]
+            payloads = []
+            for task in tasks:
+                payloads.append(fn(task))
+                if progress is not None:
+                    progress(len(payloads), len(tasks), payloads[-1])
+            return payloads
         from concurrent.futures import ProcessPoolExecutor
 
         with ProcessPoolExecutor(max_workers=min(self.jobs, len(tasks))) as pool:
-            return list(pool.map(fn, tasks))
+            payloads = []
+            for payload in pool.map(fn, tasks):
+                payloads.append(payload)
+                if progress is not None:
+                    progress(len(payloads), len(tasks), payload)
+            return payloads
 
 
 # ---------------------------------------------------------------------------
@@ -158,19 +211,27 @@ class BatchScanner:
 # ---------------------------------------------------------------------------
 
 
-def _scan_corpus_chunk(task) -> list:
-    """Regenerate and scan one slice of corpus app indices."""
-    profile, indices, options = task
+def _scan_corpus_chunk(task) -> tuple:
+    """Regenerate and scan one slice of corpus app indices; returns the
+    ``(index, result)`` pairs plus this worker's metrics snapshot (or
+    ``None`` when the caller did not ask for telemetry)."""
+    profile, indices, options, collect = task
     from ..core.checker import NChecker
     from ..corpus.generator import CorpusGenerator
 
-    generator = CorpusGenerator(profile)
-    checker = NChecker(options=options)
-    out = []
-    for index in indices:
-        apk, _truth = generator.generate_app(index)
-        out.append((index, checker.scan(apk)))
-    return out
+    registry = MetricsRegistry() if collect else None
+    old = set_metrics(registry) if collect else None
+    try:
+        generator = CorpusGenerator(profile)
+        checker = NChecker(options=options)
+        out = []
+        for index in indices:
+            apk, _truth = generator.generate_app(index)
+            out.append((index, checker.scan(apk)))
+    finally:
+        if collect:
+            set_metrics(old)
+    return out, registry.snapshot() if collect else None
 
 
 def scan_corpus(
@@ -178,18 +239,34 @@ def scan_corpus(
     n_apps: int,
     jobs: int = 1,
     options: NCheckerOptions = NCheckerOptions(),
+    telemetry: Optional[dict] = None,
 ) -> "list[ScanResult]":
     """Scan the synthetic corpus, optionally across worker processes.
 
     Returns results in app-index order regardless of ``jobs`` (generation
     is deterministic per index, so workers regenerate their own slice and
     the parent just reorders).
+
+    Pass a dict as ``telemetry`` to receive the run's merged metrics
+    snapshot in it (generation + scan counters and timings, summed over
+    workers) — the public accounting the benchmarks and experiments
+    assert on instead of reaching into store internals.
     """
+    from ..obs import merge_snapshots, use_metrics
+
     profile = profile.scaled(n_apps)
+    collect = telemetry is not None
     if jobs <= 1 or n_apps <= 1:
         from ..core.checker import NChecker
         from ..corpus.generator import CorpusGenerator
 
+        if collect:
+            with use_metrics() as registry:
+                generator = CorpusGenerator(profile)
+                checker = NChecker(options=options)
+                results = [checker.scan(apk) for apk, _ in generator.iter_apps()]
+            telemetry.update(merge_snapshots([registry.snapshot()]))
+            return results
         generator = CorpusGenerator(profile)
         checker = NChecker(options=options)
         return [checker.scan(apk) for apk, _ in generator.iter_apps()]
@@ -197,13 +274,17 @@ def scan_corpus(
     # Round-robin slices balance the load; the final sort restores input
     # order.
     chunks = [
-        (profile, tuple(range(start, n_apps, workers)), options)
+        (profile, tuple(range(start, n_apps, workers)), options, collect)
         for start in range(workers)
     ]
     from concurrent.futures import ProcessPoolExecutor
 
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        indexed = [pair for chunk in pool.map(_scan_corpus_chunk, chunks)
-                   for pair in chunk]
+        chunk_results = list(pool.map(_scan_corpus_chunk, chunks))
+    indexed = [pair for pairs, _snap in chunk_results for pair in pairs]
     indexed.sort(key=lambda pair: pair[0])
+    if collect:
+        telemetry.update(
+            merge_snapshots([snap for _pairs, snap in chunk_results if snap])
+        )
     return [result for _index, result in indexed]

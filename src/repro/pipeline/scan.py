@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..dataflow.summaries import apk_fingerprint
+from ..obs import metrics, span
 from .artifacts import ICC_MODEL, REQUESTS, RETRY_LOOPS, SUMMARIES, ArtifactStore
 from .passes import ScanPlan, ScheduledPass, build_plan, order_passes, resolve_reads
 
@@ -104,23 +105,52 @@ class ScanSession:
 
     def scan(self) -> "ScanResult":
         """Run the pipeline: build planned artifacts, run passes in
-        dependency order, assemble the result."""
+        dependency order, assemble the result.
+
+        Each pass runs inside a ``pass:<name>`` span and records its wall
+        time, findings emitted, and methods visited (the call-graph
+        universe it analyses) into the active metrics registry.
+        """
+        import time
+
         from ..core.checker import ScanResult
         from ..core.findings import Finding
 
         scheduled, config_check, notification_check = self._build_passes()
         plan = build_plan(scheduled)
         store = self.store
+        registry = metrics()
 
-        ctx = store.context
-        ctx.summaries = store.get(SUMMARIES) if plan.builds(SUMMARIES) else None
-        requests = store.get(REQUESTS)
-        retry_loops = store.get(RETRY_LOOPS) if plan.builds(RETRY_LOOPS) else []
-        ctx.retry_loops = retry_loops
+        with span("scan", package=self.apk.package):
+            scan_start = time.perf_counter()
+            ctx = store.context
+            ctx.summaries = store.get(SUMMARIES) if plan.builds(SUMMARIES) else None
+            requests = store.get(REQUESTS)
+            retry_loops = (
+                store.get(RETRY_LOOPS) if plan.builds(RETRY_LOOPS) else []
+            )
+            ctx.retry_loops = retry_loops
 
-        findings: list[Finding] = []
-        for scheduled_pass in order_passes(scheduled):
-            findings.extend(scheduled_pass.check.run(ctx, requests))
+            findings: list[Finding] = []
+            for scheduled_pass in order_passes(scheduled):
+                name = scheduled_pass.name
+                with span(f"pass:{name}", package=self.apk.package):
+                    start = time.perf_counter()
+                    emitted = scheduled_pass.check.run(ctx, requests)
+                    registry.observe(
+                        f"pass.{name}.wall_ms",
+                        (time.perf_counter() - start) * 1000.0,
+                    )
+                registry.inc(f"pass.{name}.runs")
+                registry.inc(f"pass.{name}.findings", len(emitted))
+                registry.inc(
+                    f"pass.{name}.methods_visited", len(ctx.callgraph.methods)
+                )
+                findings.extend(emitted)
+            registry.inc("scan.apps")
+            registry.observe(
+                "scan.wall_ms", (time.perf_counter() - scan_start) * 1000.0
+            )
 
         findings.sort(key=lambda f: (f.method_key, f.stmt_index, f.kind.value))
         return ScanResult(

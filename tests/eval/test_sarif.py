@@ -101,10 +101,12 @@ class TestCliSarif:
         assert results
         uri = results[0]["locations"][0]["physicalLocation"]["artifactLocation"]["uri"]
         assert uri.endswith("newsreader.apkt")
-        # The human-readable report is suppressed in SARIF mode.
-        captured = capsys.readouterr().out
-        assert "NPD Information" not in captured
-        assert "wrote SARIF log" in captured
+        # The human-readable report is suppressed in SARIF mode, and the
+        # write notice is a diagnostic: stderr, never stdout.
+        captured = capsys.readouterr()
+        assert "NPD Information" not in captured.out
+        assert "wrote SARIF log" not in captured.out
+        assert "wrote SARIF log" in captured.err
 
     def test_scan_multiple_apps_share_one_run(self, tmp_path, capsys):
         out = tmp_path / "multi.sarif"

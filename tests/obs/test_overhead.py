@@ -1,0 +1,67 @@
+"""Overhead guard: telemetry off must mean *no span objects at all* on
+the scan hot path, and turning it on must never change scan results."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.app.loader import load_apk
+from repro.core import NChecker
+from repro.obs import NULL_SPAN, Tracer, tracer, use_tracer
+from repro.obs import trace as trace_mod
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples" / "apps"
+
+
+@pytest.fixture()
+def span_allocations(monkeypatch):
+    """Count every _Span constructed while the fixture is live."""
+    allocations = []
+    real_init = trace_mod._Span.__init__
+
+    def counting_init(self, *args, **kwargs):
+        allocations.append(1)
+        real_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(trace_mod._Span, "__init__", counting_init)
+    return allocations
+
+
+def test_disabled_scan_allocates_no_spans(span_allocations):
+    assert not tracer().enabled, "tests must run with the default tracer"
+    apk = load_apk(EXAMPLES / "newsreader.apkt")
+    result = NChecker().scan(apk)
+    assert result.findings  # the scan really ran
+    assert span_allocations == []
+    assert tracer().spans_opened == 0
+
+
+def test_enabled_scan_does_allocate(span_allocations):
+    """The guard above is meaningful only if the counter actually fires
+    when tracing is on."""
+    apk = load_apk(EXAMPLES / "newsreader.apkt")
+    with use_tracer(Tracer(enabled=True)) as active:
+        NChecker().scan(apk)
+        assert active.spans_opened > 0
+    assert len(span_allocations) == active.spans_opened
+
+
+def test_disabled_span_helper_returns_the_singleton(span_allocations):
+    from repro.obs import span
+
+    first = span("a", key="value")
+    second = span("b")
+    assert first is NULL_SPAN and second is NULL_SPAN
+    assert span_allocations == []
+
+
+def test_tracing_never_changes_findings():
+    apk_plain = load_apk(EXAMPLES / "newsreader.apkt")
+    plain = NChecker().scan(apk_plain)
+    apk_traced = load_apk(EXAMPLES / "newsreader.apkt")
+    with use_tracer(Tracer(enabled=True)):
+        traced = NChecker().scan(apk_traced)
+    signature = lambda r: [
+        (f.kind.value, f.method_key, f.stmt_index) for f in r.findings
+    ]
+    assert signature(plain) == signature(traced)

@@ -1,0 +1,121 @@
+"""Tracer correctness: event schema, B/E nesting, thread safety."""
+
+import json
+import threading
+
+from repro.obs import NULL_SPAN, Tracer, chrome_trace, span, tracer, use_tracer
+from repro.obs.trace import _Span
+
+REQUIRED_KEYS = {"name", "cat", "ph", "ts", "pid", "tid"}
+
+
+def check_balanced_be(events):
+    """Every exported tid must carry a properly nested B/E sequence."""
+    stacks = {}
+    for event in events:
+        stack = stacks.setdefault(event["tid"], [])
+        if event["ph"] == "B":
+            stack.append(event["name"])
+        elif event["ph"] == "E":
+            assert stack, f"E without open B on tid {event['tid']}"
+            stack.pop()
+    for tid, stack in stacks.items():
+        assert not stack, f"unclosed spans on tid {tid}: {stack}"
+
+
+class TestTracer:
+    def test_disabled_returns_null_span_singleton(self):
+        t = Tracer(enabled=False)
+        assert t.span("a") is NULL_SPAN
+        assert t.span("b", key="v") is NULL_SPAN
+        with t.span("c"):
+            pass
+        assert t.export() == []
+        assert t.spans_opened == 0
+
+    def test_default_global_tracer_is_disabled(self):
+        assert not tracer().enabled
+        assert span("anything") is NULL_SPAN
+
+    def test_events_have_required_keys(self):
+        t = Tracer(enabled=True)
+        with t.span("outer", package="com.x"):
+            with t.span("inner"):
+                pass
+        events = t.export()
+        assert len(events) == 4
+        for event in events:
+            assert REQUIRED_KEYS <= set(event)
+        assert events[0]["args"] == {"package": "com.x"}
+
+    def test_nesting_is_balanced(self):
+        t = Tracer(enabled=True)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+            with t.span("c"):
+                with t.span("d"):
+                    pass
+        events = t.export()
+        check_balanced_be(events)
+        assert [e["name"] for e in events if e["ph"] == "B"] == [
+            "a", "b", "c", "d"
+        ]
+
+    def test_timestamps_monotone_per_thread(self):
+        t = Tracer(enabled=True)
+        with t.span("a"):
+            with t.span("b"):
+                pass
+        ts = [e["ts"] for e in t.export()]
+        assert ts == sorted(ts)
+
+    def test_thread_safety(self):
+        t = Tracer(enabled=True)
+
+        def work():
+            for _ in range(50):
+                with t.span("w"):
+                    pass
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = t.export()
+        assert len(events) == 4 * 50 * 2
+        check_balanced_be(events)
+        assert t.spans_opened == 4 * 50
+
+    def test_use_tracer_restores_previous(self):
+        before = tracer()
+        with use_tracer(Tracer(enabled=True)) as active:
+            assert tracer() is active
+            with span("x"):
+                pass
+            assert active.spans_opened == 1
+        assert tracer() is before
+
+    def test_export_is_picklable_and_json_safe(self):
+        t = Tracer(enabled=True)
+        with t.span("s", n=1):
+            pass
+        wrapped = chrome_trace(t.export())
+        parsed = json.loads(json.dumps(wrapped))
+        assert parsed["traceEvents"][0]["name"] == "s"
+        assert parsed["displayTimeUnit"] == "ms"
+
+    def test_clear_resets(self):
+        t = Tracer(enabled=True)
+        with t.span("s"):
+            pass
+        t.clear()
+        assert t.export() == []
+        assert t.spans_opened == 0
+
+    def test_span_allocates_only_when_enabled(self):
+        t = Tracer(enabled=True)
+        assert isinstance(t.span("s"), _Span)
+        t.enabled = False
+        assert t.span("s") is NULL_SPAN
