@@ -1,19 +1,22 @@
-"""Pipeline benchmarks: batch-scan scaling and incremental patcher
-convergence.
+"""Pipeline benchmarks: batch-scan scaling, disk-cache warm starts, and
+incremental patcher convergence.
 
-Two claims from the pass-pipeline refactor, measured:
+Three claims from the pipeline work, measured:
 
 * ``scan --jobs N`` fans whole apps across worker processes with
   *identical* results — the speedup is bounded by the core count, so the
   ≥2x assertion only applies on multi-core hosts (CI smoke runs may be
   single-core);
+* the persistent artifact cache (``--cache-dir``) makes a warm re-scan
+  perform **zero** app-scoped artifact builds with identical findings,
+  timed against both a cold and a cache-disabled sweep;
 * the incremental patch loop rebuilds only the dirty region after each
   patch round — asserted via the public metrics snapshot
   (``artifact.cfg.builds`` / ``artifact.invalidated_methods``), not by
   reaching into store internals — while producing byte-identical fixed
   apps.
 
-Both tests read the telemetry through :mod:`repro.obs` — the
+The tests read the telemetry through :mod:`repro.obs` — the
 snapshot/merge protocol the ``--metrics`` flag exposes — and append
 their measurements (including the merged per-pass timing fields) to
 ``BENCH_pipeline.json`` in the working directory.
@@ -26,6 +29,7 @@ from pathlib import Path
 
 from repro.app.loader import dumps_apk, loads_apk
 from repro.core import NChecker
+from repro.core.checker import NCheckerOptions
 from repro.core.patcher import Patcher
 from repro.corpus import CorpusGenerator, PAPER_PROFILE
 from repro.obs import use_metrics
@@ -102,6 +106,67 @@ def test_batch_scan_scaling(benchmark):
         "identical_results": True,
         "counters": parallel_telemetry["counters"],
         "timings": _timing_fields(parallel_telemetry),
+    })
+
+
+def test_disk_cache_cold_warm(benchmark, tmp_path):
+    """The persistent artifact cache: a warm re-scan performs zero
+    app-scoped builds and must not be slower than a cache-disabled scan;
+    findings are identical disabled/cold/warm."""
+    n_apps = 12
+    apps = [apk for apk, _ in CorpusGenerator(PAPER_PROFILE.scaled(n_apps)).generate()]
+    blobs = [dumps_apk(apk) for apk in apps]
+    cache_dir = tmp_path / "artifact-cache"
+    app_kinds = ("callgraph", "summaries", "requests", "retry-loops", "icc-model")
+
+    def sweep(cache: bool):
+        """One fresh-process-equivalent scan of every app."""
+        options = NCheckerOptions(cache_dir=str(cache_dir) if cache else None)
+        with use_metrics() as registry:
+            checker = NChecker(options=options)
+            results = [
+                checker.open_session(loads_apk(blob)).scan() for blob in blobs
+            ]
+            return results, registry.snapshot()
+
+    start = time.perf_counter()
+    disabled_results, disabled_snap = sweep(cache=False)
+    disabled_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold_results, cold_snap = sweep(cache=True)
+    cold_s = time.perf_counter() - start
+
+    (warm_results, warm_snap) = benchmark.pedantic(
+        sweep, args=(True,), rounds=1, iterations=1
+    )
+    warm_s = benchmark.stats.stats.mean
+
+    assert _scan_signature(disabled_results) == _scan_signature(cold_results)
+    assert _scan_signature(disabled_results) == _scan_signature(warm_results)
+    counters = warm_snap["counters"]
+    for kind in app_kinds:
+        assert counters.get(f"artifact.{kind}.builds", 0) == 0, (
+            f"warm run built {kind}"
+        )
+    assert counters.get("cache.disk.callgraph.hits", 0) == n_apps
+    assert cold_snap["counters"]["artifact.callgraph.builds"] == n_apps
+    print(
+        f"\ndisk cache over {n_apps} apps: disabled {disabled_s*1000:.0f} ms, "
+        f"cold {cold_s*1000:.0f} ms, warm {warm_s*1000:.0f} ms "
+        f"({disabled_s/warm_s if warm_s else float('inf'):.2f}x vs disabled)"
+    )
+    _record("disk_cache", {
+        "n_apps": n_apps,
+        "disabled_s": disabled_s,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "warm_speedup_vs_disabled": disabled_s / warm_s if warm_s else None,
+        "cold_overhead_vs_disabled": cold_s / disabled_s if disabled_s else None,
+        "warm_app_scoped_builds": 0,
+        "identical_results": True,
+        "counters": counters,
+        "timings": _timing_fields(warm_snap),
     })
 
 

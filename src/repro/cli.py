@@ -6,12 +6,18 @@ Subcommands:
   warning reports;
 * ``experiments [ids...]`` — regenerate the paper's tables/figures;
 * ``corpus <dir> [--apps N]`` — emit the synthetic evaluation corpus as
-  ``.apkt`` files (inspectable, re-scannable).
+  ``.apkt`` files (inspectable, re-scannable);
+* ``cache stats|gc|clear`` — manage the persistent artifact cache.
+
+Every subcommand and flag is documented in ``docs/CLI.md``
+(``tests/test_docs.py`` asserts the doc covers this parser, so it
+cannot rot).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -25,11 +31,30 @@ from .obs import get_logger
 log = get_logger("cli")
 
 
+def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
+    """The persistent-cache root a command should use: ``--no-disk-cache``
+    wins, then ``--cache-dir``, then ``$NCHECKER_CACHE_DIR``, then the
+    conventional ``$XDG_CACHE_HOME/nchecker`` (``~/.cache/nchecker``)."""
+    if getattr(args, "no_disk_cache", False):
+        return None
+    explicit = getattr(args, "cache_dir", None)
+    if explicit:
+        return explicit
+    env = os.environ.get("NCHECKER_CACHE_DIR")
+    if env:
+        return env
+    base = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return os.path.join(base, "nchecker")
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     options = NCheckerOptions(
         guard_aware_connectivity=args.guard_aware,
         interprocedural_connectivity=not args.intraprocedural,
         summary_based=not args.no_summaries,
+        cache_dir=_resolve_cache_dir(args),
     )
     from .pipeline.batch import BatchScanner
 
@@ -171,7 +196,9 @@ def _cmd_patch(args: argparse.Namespace) -> int:
 
     if args.output and len(args.apps) > 1:
         args.parser.error("-o/--output requires exactly one input app")
-    checker = NChecker()
+    checker = NChecker(
+        options=NCheckerOptions(cache_dir=_resolve_cache_dir(args))
+    )
     patcher = Patcher()
     exit_code = 0
     for path in args.apps:
@@ -275,6 +302,30 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .pipeline.diskcache import DiskCache, format_size, parse_size
+
+    cache = DiskCache(_resolve_cache_dir(args))
+    if args.action == "stats":
+        print(cache.stats().render())
+        return 0
+    if args.action == "gc":
+        try:
+            max_bytes = parse_size(args.max_size)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        removed, freed = cache.gc(max_bytes)
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}, "
+              f"freed {format_size(freed)}")
+        return 0
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    raise AssertionError(f"unknown cache action {args.action!r}")
+
+
 def _load_or_die(path: str):
     from .ir.parser import ParseError
 
@@ -291,7 +342,13 @@ def _load_or_die(path: str):
         raise SystemExit(2)
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``nchecker`` argument parser.
+
+    Exposed separately from :func:`main` so ``docs/CLI.md`` can be
+    checked against it (every flag must appear in the doc) and so
+    embedders can introspect the CLI surface.
+    """
     parser = argparse.ArgumentParser(
         prog="nchecker",
         description="Detect network programming defects (NPDs) in "
@@ -308,10 +365,18 @@ def main(argv: list[str] | None = None) -> int:
         "-v", "--verbose", action="count", default=0,
         help="enable debug diagnostics on stderr",
     )
+    # The persistent artifact cache rides on every command that scans
+    # (and on `cache`, which manages it).  See docs/CACHING.md.
+    caching = argparse.ArgumentParser(add_help=False)
+    caching.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent artifact cache location (default: "
+        "$NCHECKER_CACHE_DIR, else ~/.cache/nchecker)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     scan = sub.add_parser("scan", help="scan app files for NPDs",
-                          parents=[common])
+                          parents=[common, caching])
     scan.add_argument("apps", nargs="+", help=".apkt files to scan")
     scan.add_argument(
         "--summary", action="store_true", help="print per-kind counts only"
@@ -362,6 +427,11 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="restrict the connectivity analysis to the request's method",
     )
+    scan.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="do not read or write the persistent artifact cache "
+        "(output is byte-identical either way)",
+    )
     scan.set_defaults(func=_cmd_scan)
 
     experiments = sub.add_parser(
@@ -376,12 +446,16 @@ def main(argv: list[str] | None = None) -> int:
 
     patch = sub.add_parser(
         "patch", help="apply fix suggestions and write a patched .apkt",
-        parents=[common],
+        parents=[common, caching],
     )
     patch.add_argument("apps", nargs="+", help=".apkt files to patch")
     patch.add_argument(
         "-o", "--output", help="output path (single input only; default: "
         "<input>.fixed.apkt)"
+    )
+    patch.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="do not read or write the persistent artifact cache",
     )
     patch.set_defaults(func=_cmd_patch, parser=patch)
 
@@ -422,7 +496,35 @@ def main(argv: list[str] | None = None) -> int:
     )
     corpus.set_defaults(func=_cmd_corpus)
 
-    args = parser.parse_args(argv)
+    cache = sub.add_parser(
+        "cache", help="inspect and manage the persistent artifact cache",
+    )
+    # The shared flags go on each action (not on `cache` itself): argparse
+    # subparsers re-apply their defaults over the parent namespace, so a
+    # flag accepted in both places would be silently clobbered.
+    action = cache.add_subparsers(dest="action", required=True)
+    action.add_parser(
+        "stats", help="print entry counts and sizes per artifact kind",
+        parents=[common, caching],
+    )
+    gc = action.add_parser(
+        "gc", help="drop least-recently-used entries to fit a size budget",
+        parents=[common, caching],
+    )
+    gc.add_argument(
+        "--max-size", required=True, metavar="SIZE",
+        help="target cache size, e.g. 512M, 2G, or a byte count",
+    )
+    action.add_parser(
+        "clear", help="delete every cache entry", parents=[common, caching]
+    )
+    cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
     from .obs import configure_logging
 
     configure_logging(getattr(args, "verbose", 0) - getattr(args, "quiet", 0))

@@ -67,6 +67,14 @@ class NCheckerOptions:
     #: broadcast-routed error displays are then recognised, removing the
     #: paper's two FP classes.
     inter_component: bool = False
+    #: Root directory of the persistent cross-run artifact cache
+    #: (:mod:`repro.pipeline.diskcache`).  ``None`` — the library default —
+    #: keeps every artifact in-memory only; the CLI resolves this to
+    #: ``$NCHECKER_CACHE_DIR`` or ``~/.cache/nchecker`` unless
+    #: ``--no-disk-cache`` is given.  Cached artifacts are keyed by app
+    #: content, so the flag can never change scan output — only where the
+    #: artifacts come from.
+    cache_dir: Optional[str] = None
     enabled_checks: frozenset[str] = frozenset(
         {"connectivity", "config-apis", "retry-parameters",
          "failure-notification", "invalid-response"}

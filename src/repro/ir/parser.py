@@ -221,6 +221,13 @@ def _parse_rhs(text: str, line_no: int) -> Value:
 
 def parse_stmt(line: str, line_no: int = 0) -> Stmt:
     """Parse one statement line (label lines are handled by the caller)."""
+    # Bare-local assignment wins over keyword dispatch: locals may shadow
+    # statement keywords ("if = 0"), and no keyword statement ever has
+    # "=" as its second token, so "<ident> = rhs" is unambiguous.
+    assign = re.match(r"^[A-Za-z_$][\w$]* = ", line)
+    if assign is not None:
+        target, rhs = line.split(" = ", 1)
+        return AssignStmt(Local(target), _parse_rhs(rhs, line_no))
     if line == "nop":
         return NopStmt()
     if line == "return":

@@ -58,6 +58,13 @@ ALL_LIBRARIES = (
 #: The two Android-native stacks (Table 7 groups them as "Native").
 NATIVE_LIBRARY_KEYS = frozenset({"httpurlconnection", "apache"})
 
+#: Version of the library annotation models.  Bump whenever any model's
+#: annotations change (target/config/response APIs, callbacks, defaults):
+#: the persistent artifact cache (`repro.pipeline.diskcache`) folds this
+#: into every cache key, so stale artifacts derived under older
+#: annotations are invalidated instead of silently reused.
+LIBMODELS_VERSION = 1
+
 
 def default_registry() -> LibraryRegistry:
     """The registry of all six studied libraries."""
@@ -88,6 +95,7 @@ __all__ = [
     "HANDLER_NOTIFY_METHODS",
     "HTTPURLCONNECTION",
     "HttpMethod",
+    "LIBMODELS_VERSION",
     "LIBRARY_COLUMNS",
     "LOG_CLASSES",
     "LibraryDefaults",

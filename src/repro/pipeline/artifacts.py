@@ -191,6 +191,17 @@ class ArtifactStore:
         """The artifact if already built, else ``None`` (never builds)."""
         return self._app.get(key.name)
 
+    def adopt(self, key: ArtifactKey, value) -> None:
+        """Install an externally produced artifact (a disk-cache load).
+
+        Counts neither a build nor a hit — the disk cache keeps its own
+        ``cache.disk.*`` accounting — so ``artifact.<kind>.builds`` stays
+        an exact count of in-process construction work.
+        """
+        if key.scope != "app":
+            raise ValueError(f"cannot adopt method-scoped artifact {key.name!r}")
+        self._app[key.name] = value
+
     @property
     def context(self) -> "AnalysisContext":
         """The shared :class:`AnalysisContext` over this store.  Building

@@ -15,6 +15,14 @@ region.  :class:`SessionCache` gives ``NChecker`` its repeat-scan
 behaviour (one session per package, keyed by the structural
 fingerprint, LRU-bounded for corpus sweeps) — the successor of the old
 per-APK ``SummaryCache``.
+
+Sessions are also where the **persistent cross-run cache**
+(:mod:`repro.pipeline.diskcache`, ``NCheckerOptions.cache_dir``) plugs
+in: before the first pass runs, every valid on-disk artifact for the
+app's content fingerprint is adopted into the store (zero builds on a
+warm run), and after each scan the artifacts the run had to build are
+written back.  Output is byte-identical with the cache hot, cold, or
+disabled — the cache only changes where artifacts come from.
 """
 
 from __future__ import annotations
@@ -47,6 +55,15 @@ class ScanSession:
         self.registry = registry
         self.options = options
         self.store = ArtifactStore(apk, registry)
+        from .diskcache import DiskCache
+
+        #: Persistent cross-run cache, or ``None`` (options.cache_dir unset).
+        self.disk_cache = DiskCache.from_options(options)
+        #: ``(app_fingerprint, kind)`` pairs already on disk — loaded from
+        #: or written there by this session — so repeat scans rewrite
+        #: nothing and a patch round persists only the rebuilt cone.
+        self._disk_synced: set[tuple[str, str]] = set()
+        self._app_fp: Optional[str] = None
 
     # -- pass construction ---------------------------------------------------
 
@@ -116,6 +133,10 @@ class ScanSession:
         from ..core.checker import ScanResult
         from ..core.findings import Finding
 
+        # Adopt persisted artifacts before pass construction: the ICC
+        # model is materialized inside _build_passes, so the preload must
+        # already have happened for a warm run to stay build-free.
+        self._preload_from_disk()
         scheduled, config_check, notification_check = self._build_passes()
         plan = build_plan(scheduled)
         store = self.store
@@ -152,6 +173,7 @@ class ScanSession:
                 "scan.wall_ms", (time.perf_counter() - scan_start) * 1000.0
             )
 
+        self._persist_to_disk()
         findings.sort(key=lambda f: (f.method_key, f.stmt_index, f.kind.value))
         return ScanResult(
             self.apk,
@@ -162,10 +184,40 @@ class ScanSession:
             notification_info=dict(notification_check.info_by_request),
         )
 
+    # -- persistent cache ----------------------------------------------------
+
+    def _content_fingerprint(self) -> str:
+        """The app's content address, memoized until an invalidation
+        (the patcher's in-place mutations go through
+        :meth:`invalidate_methods`, which drops the memo)."""
+        if self._app_fp is None:
+            from .diskcache import app_content_fingerprint
+
+            self._app_fp = app_content_fingerprint(self.apk)
+        return self._app_fp
+
+    def _preload_from_disk(self) -> None:
+        if self.disk_cache is None:
+            return
+        fp = self._content_fingerprint()
+        loaded = self.disk_cache.load_into(self.store, fp, self.options)
+        self._disk_synced.update((fp, kind) for kind in loaded)
+
+    def _persist_to_disk(self) -> None:
+        if self.disk_cache is None:
+            return
+        fp = self._content_fingerprint()
+        synced = {kind for f, kind in self._disk_synced if f == fp}
+        written = self.disk_cache.store_from(
+            self.store, fp, self.options, exclude=synced
+        )
+        self._disk_synced.update((fp, kind) for kind in written)
+
     # -- incrementality ------------------------------------------------------
 
     def invalidate_methods(self, touched: "set[MethodKey]") -> None:
         """Forward a patch round's touched-method report to the store."""
+        self._app_fp = None  # in-place mutation: re-fingerprint next scan
         self.store.invalidate_methods(touched)
 
     @property

@@ -78,6 +78,13 @@ class TestStatements:
         stmt = parse_stmt(line)
         assert parse_stmt(format_stmt(stmt)) == stmt
 
+    @pytest.mark.parametrize("name", ["if", "goto", "return", "throw", "nop", "invoke"])
+    def test_keyword_named_local_assignment(self, name):
+        """Locals may shadow statement keywords; assignment dispatch wins."""
+        stmt = parse_stmt(f"{name} = 0")
+        assert stmt == parse_stmt(format_stmt(stmt))
+        assert format_stmt(stmt) == f"{name} = 0"
+
     def test_malformed_if_rejected(self):
         with pytest.raises(ParseError):
             parse_stmt("if x goto L")

@@ -1,0 +1,429 @@
+"""Persistent cross-run artifact cache (`repro.pipeline.diskcache`).
+
+The contract under test: a warm re-scan of an unchanged app performs
+zero app-scoped artifact builds, scan output is byte-identical with the
+cache cold, warm, or disabled (including ``--jobs``), corrupted entries
+degrade to rebuilds, and a patched app rebuilds only the invalidation
+cone.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.app import save_apk
+from repro.app.loader import dumps_apk, loads_apk
+from repro.callgraph.entrypoints import method_key
+from repro.cli import main
+from repro.core import NChecker
+from repro.core.checker import NCheckerOptions
+from repro.core.patcher import Patcher
+from repro.corpus.snippets import Connectivity, Notification, RequestSpec
+from repro.ir.statements import NopStmt
+from repro.pipeline import diskcache
+from repro.pipeline.diskcache import (
+    CACHE_FORMAT_VERSION,
+    DiskCache,
+    app_content_fingerprint,
+    format_size,
+    parse_size,
+    registry_fingerprint,
+)
+
+from tests.conftest import single_request_app
+
+#: The five app-scoped artifact kinds the cache persists.
+APP_KINDS = ("callgraph", "summaries", "requests", "retry-loops", "icc-model")
+
+
+def fresh_apk():
+    apk, _ = single_request_app(RequestSpec())
+    return apk
+
+
+def finding_sigs(result) -> list[tuple]:
+    """A stable projection of the findings, comparable across distinct
+    APK instances (Finding embeds live IRMethod objects via the request,
+    which compare by identity)."""
+    return [
+        (f.kind, f.method_key, f.stmt_index, f.message)
+        for f in result.findings
+    ]
+
+
+def app_builds(session) -> dict[str, int]:
+    """The session's app-scoped build counts (method-scoped kinds are
+    rebuilt per process by design and excluded here)."""
+    return {
+        kind: session.store.counters.builds_of(kind) for kind in APP_KINDS
+    }
+
+
+def scan_once(cache_dir, apk=None):
+    """One fresh-process-equivalent scan: new checker, new session."""
+    options = NCheckerOptions(cache_dir=str(cache_dir) if cache_dir else None)
+    checker = NChecker(options=options)
+    session = checker.open_session(apk if apk is not None else fresh_apk())
+    result = session.scan()
+    return result, session
+
+
+class TestFingerprints:
+    def test_stable_across_serialization(self):
+        apk = fresh_apk()
+        clone = loads_apk(dumps_apk(apk))
+        assert app_content_fingerprint(apk) == app_content_fingerprint(clone)
+
+    def test_statement_change_changes_fingerprint(self):
+        apk = fresh_apk()
+        before = app_content_fingerprint(apk)
+        method = next(iter(apk.methods()))
+        method.statements.insert(0, NopStmt())
+        assert app_content_fingerprint(apk) != before
+
+    def test_registry_fingerprint_folds_model_version(self, monkeypatch):
+        from repro.libmodels import default_registry
+
+        registry = default_registry()
+        before = registry_fingerprint(registry)
+        monkeypatch.setattr(diskcache, "LIBMODELS_VERSION", 9999)
+        assert registry_fingerprint(registry) != before
+
+
+class TestSizes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("4096", 4096), ("1K", 1024), ("1.5M", 1536 * 1024),
+         ("2G", 2 << 30), (" 512m ", 512 << 20), ("0", 0)],
+    )
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "garbage", "-1", "1X5"])
+    def test_parse_size_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_size(bad)
+
+    def test_format_size(self):
+        assert format_size(512) == "512B"
+        assert format_size(2048) == "2.0K"
+        assert format_size(3 << 20) == "3.0M"
+
+
+class TestWarmScan:
+    def test_cold_builds_then_warm_adopts(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        r1, s1 = scan_once(cache_dir)
+        cold = app_builds(s1)
+        assert cold["callgraph"] == 1 and cold["requests"] == 1
+
+        r2, s2 = scan_once(cache_dir)
+        assert app_builds(s2) == dict.fromkeys(APP_KINDS, 0)
+        for kind in ("callgraph", "summaries", "requests", "retry-loops"):
+            assert s2.store.metrics.counter_value(f"cache.disk.{kind}.hits") == 1
+        assert finding_sigs(r2) == finding_sigs(r1)
+        assert [req.location() for req in r2.requests] == [
+            req.location() for req in r1.requests
+        ]
+
+    def test_disabled_cache_writes_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _r, _s = scan_once(None)
+        assert not cache_dir.exists()
+        assert DiskCache(cache_dir)._entry_files() == []
+
+    def test_repeat_scan_rewrites_nothing(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        _r, session = scan_once(cache_dir)
+        entries = {p: p.stat().st_mtime_ns for p in DiskCache(cache_dir)._entry_files()}
+        assert entries
+        session.scan()  # same session, same fingerprint: already synced
+        after = {p: p.stat().st_mtime_ns for p in DiskCache(cache_dir)._entry_files()}
+        assert after == entries
+
+    def test_format_version_bump_is_cold(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        scan_once(cache_dir)
+        monkeypatch.setattr(diskcache, "CACHE_FORMAT_VERSION", CACHE_FORMAT_VERSION + 1)
+        _r, session = scan_once(cache_dir)
+        assert app_builds(session)["callgraph"] == 1  # old entries unusable
+
+    def test_library_model_bump_is_cold(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "cache"
+        scan_once(cache_dir)
+        monkeypatch.setattr(diskcache, "LIBMODELS_VERSION", 9999)
+        _r, session = scan_once(cache_dir)
+        assert app_builds(session)["callgraph"] == 1
+
+
+class TestCorruption:
+    def entry(self, cache_dir, kind) -> "list":
+        return [p for p in DiskCache(cache_dir)._entry_files()
+                if p.name.startswith(f"{kind}-")]
+
+    def corrupt_and_rescan(self, tmp_path, mutate, kind="summaries"):
+        cache_dir = tmp_path / "cache"
+        r1, _ = scan_once(cache_dir)
+        (path,) = self.entry(cache_dir, kind)
+        mutate(path)
+        r2, session = scan_once(cache_dir)
+        assert finding_sigs(r2) == finding_sigs(r1)
+        return session, path
+
+    def test_truncated_entry_is_a_miss_and_rebuilds(self, tmp_path):
+        def truncate(path):
+            path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+
+        session, path = self.corrupt_and_rescan(tmp_path, truncate)
+        m = session.store.metrics
+        # One miss for the unreadable entry, one for the write-back of
+        # the rebuilt artifact (every write counts as a miss).
+        assert m.counter_value("cache.disk.summaries.misses") == 2
+        assert m.counter_value("cache.disk.errors") == 1
+        assert app_builds(session)["summaries"] == 1
+        assert app_builds(session)["callgraph"] == 0  # others still warm
+        # The rebuilt artifact overwrote the bad entry: next scan is clean.
+        _r3, s3 = scan_once(tmp_path / "cache")
+        assert app_builds(s3) == dict.fromkeys(APP_KINDS, 0)
+        assert s3.store.metrics.counter_value("cache.disk.errors") == 0
+
+    def test_truncated_below_header_is_a_miss(self, tmp_path):
+        session, _ = self.corrupt_and_rescan(
+            tmp_path, lambda p: p.write_bytes(b"NC")
+        )
+        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+
+    def test_bad_magic_is_a_miss(self, tmp_path):
+        def stamp(path):
+            data = bytearray(path.read_bytes())
+            data[:4] = b"XXXX"
+            path.write_bytes(bytes(data))
+
+        session, _ = self.corrupt_and_rescan(tmp_path, stamp)
+        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+
+    def test_header_version_mismatch_is_a_miss(self, tmp_path):
+        def bump_version(path):
+            data = bytearray(path.read_bytes())
+            struct.pack_into(">I", data, 4, CACHE_FORMAT_VERSION + 7)
+            path.write_bytes(bytes(data))
+
+        session, _ = self.corrupt_and_rescan(tmp_path, bump_version)
+        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+
+    def test_flipped_payload_byte_is_a_miss(self, tmp_path):
+        def flip(path):
+            data = bytearray(path.read_bytes())
+            data[-1] ^= 0xFF
+            path.write_bytes(bytes(data))
+
+        session, _ = self.corrupt_and_rescan(tmp_path, flip)
+        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+
+
+class TestPatchWarmStart:
+    def test_patch_rebuilds_only_the_dirty_cone(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        apk = fresh_apk()
+        scan_once(cache_dir, apk)  # populate the cache
+
+        _r, session = scan_once(cache_dir, loads_apk(dumps_apk(apk)))
+        assert app_builds(session) == dict.fromkeys(APP_KINDS, 0)
+
+        method = next(iter(session.apk.methods()))
+        method.statements.insert(0, NopStmt())
+        method.validate()
+        session.invalidate_methods({method_key(method)})
+        session.scan()
+        builds = app_builds(session)
+        # Call graph and summary engine stay warm in the store; only the
+        # whole-app extraction artifacts rebuild (statement indices shift).
+        assert builds["callgraph"] == 0
+        assert builds["summaries"] == 0
+        assert builds["requests"] == 1
+        assert builds["retry-loops"] == 1
+
+    def test_patch_until_clean_matches_without_cache(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        apk = fresh_apk()
+        scan_once(cache_dir, apk)  # warm the cache first
+
+        cached = NChecker(options=NCheckerOptions(cache_dir=str(cache_dir)))
+        plain = NChecker()
+        fixed_cached, applied_cached = Patcher().patch_until_clean(
+            loads_apk(dumps_apk(apk)), cached
+        )
+        fixed_plain, applied_plain = Patcher().patch_until_clean(
+            loads_apk(dumps_apk(apk)), plain
+        )
+        assert dumps_apk(fixed_cached) == dumps_apk(fixed_plain)
+        assert len(applied_cached) == len(applied_plain)
+
+
+class TestManagement:
+    def populated(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        scan_once(cache_dir)
+        return DiskCache(cache_dir)
+
+    def test_stats(self, tmp_path):
+        cache = self.populated(tmp_path)
+        stats = cache.stats()
+        assert stats.apps == 1
+        assert stats.entries == len(cache._entry_files()) > 0
+        assert stats.total_bytes == sum(
+            p.stat().st_size for p in cache._entry_files()
+        )
+        assert set(stats.by_kind) <= set(APP_KINDS)
+        assert str(stats.entries) in stats.render()
+
+    def test_gc_drops_oldest_until_under_budget(self, tmp_path):
+        cache = self.populated(tmp_path)
+        total = cache.stats().total_bytes
+        keep = max(p.stat().st_size for p in cache._entry_files())
+        removed, freed = cache.gc(keep)
+        assert removed > 0 and freed > 0
+        assert cache.stats().total_bytes <= keep
+        assert freed == total - cache.stats().total_bytes
+
+    def test_gc_noop_when_under_budget(self, tmp_path):
+        cache = self.populated(tmp_path)
+        assert cache.gc(1 << 30) == (0, 0)
+
+    def test_clear_empties_everything(self, tmp_path):
+        cache = self.populated(tmp_path)
+        removed = cache.clear()
+        assert removed > 0
+        assert cache._entry_files() == []
+        assert cache.stats().entries == 0
+
+    def test_stats_on_missing_root(self, tmp_path):
+        cache = DiskCache(tmp_path / "never-created")
+        assert cache.stats().entries == 0
+        assert cache.gc(0) == (0, 0)
+        assert cache.clear() == 0
+
+
+class TestCLIByteIdentity:
+    """Scan output must be byte-identical with the cache disabled, cold,
+    and warm — the driver-facing acceptance criterion."""
+
+    @pytest.fixture()
+    def app_files(self, tmp_path):
+        buggy, _ = single_request_app(RequestSpec())
+        clean, _ = single_request_app(
+            RequestSpec(
+                connectivity=Connectivity.GUARDED,
+                with_timeout=True,
+                with_retry=True,
+                retry_value=2,
+                with_notification=Notification.TOAST,
+                with_response_check=True,
+            ),
+            package="com.test.clean",
+        )
+        paths = [tmp_path / "buggy.apkt", tmp_path / "clean.apkt"]
+        save_apk(buggy, paths[0])
+        save_apk(clean, paths[1])
+        return [str(p) for p in paths]
+
+    def run(self, argv, capsys):
+        code = main(argv)
+        out = capsys.readouterr().out
+        return code, out
+
+    def test_report_mode(self, app_files, capsys):
+        disabled = self.run(["scan", "--no-disk-cache", *app_files], capsys)
+        cold = self.run(["scan", *app_files], capsys)
+        warm = self.run(["scan", *app_files], capsys)
+        warm_jobs = self.run(["scan", "--jobs", "2", *app_files], capsys)
+        assert disabled == cold == warm == warm_jobs
+
+    def test_json_mode(self, app_files, capsys):
+        disabled = self.run(["scan", "--json", "--no-disk-cache", *app_files], capsys)
+        cold = self.run(["scan", "--json", *app_files], capsys)
+        warm = self.run(["scan", "--json", *app_files], capsys)
+        assert disabled == cold == warm
+
+    def test_sarif_output(self, app_files, tmp_path, capsys):
+        logs = []
+        for name, extra in (
+            ("disabled", ["--no-disk-cache"]), ("cold", []), ("warm", []),
+            ("jobs", ["--jobs", "2"]),
+        ):
+            path = tmp_path / f"{name}.sarif"
+            main(["scan", "--sarif", str(path), *extra, *app_files])
+            capsys.readouterr()
+            logs.append(path.read_bytes())
+        assert len(set(logs)) == 1
+
+    def test_warm_run_has_zero_app_builds(self, app_files, tmp_path, capsys):
+        cold_metrics = tmp_path / "cold.json"
+        warm_metrics = tmp_path / "warm.json"
+        main(["scan", "--metrics", str(cold_metrics), *app_files])
+        main(["scan", "--metrics", str(warm_metrics), *app_files])
+        capsys.readouterr()
+        cold = json.loads(cold_metrics.read_text())["counters"]
+        warm = json.loads(warm_metrics.read_text())["counters"]
+        assert cold.get("artifact.callgraph.builds", 0) == 2  # two apps
+        for kind in APP_KINDS:
+            assert warm.get(f"artifact.{kind}.builds", 0) == 0
+        for kind in ("callgraph", "summaries", "requests", "retry-loops"):
+            assert warm.get(f"cache.disk.{kind}.hits", 0) == 2
+
+    def test_warm_jobs_run_has_zero_app_builds(self, app_files, tmp_path, capsys):
+        warm_metrics = tmp_path / "warm-jobs.json"
+        main(["scan", *app_files])  # cold, populate
+        main(["scan", "--jobs", "2", "--metrics", str(warm_metrics), *app_files])
+        capsys.readouterr()
+        warm = json.loads(warm_metrics.read_text())["counters"]
+        for kind in APP_KINDS:
+            assert warm.get(f"artifact.{kind}.builds", 0) == 0
+
+    def test_no_disk_cache_flag_leaves_cache_untouched(
+        self, app_files, tmp_path, capsys, monkeypatch
+    ):
+        cache_dir = tmp_path / "explicit-cache"
+        main(["scan", "--no-disk-cache", "--cache-dir", str(cache_dir), *app_files])
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+
+class TestCacheSubcommand:
+    def run(self, argv, capsys):
+        code = main(argv)
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def populate(self, tmp_path, capsys):
+        apk, _ = single_request_app(RequestSpec())
+        path = tmp_path / "app.apkt"
+        save_apk(apk, path)
+        main(["scan", str(path)])
+        capsys.readouterr()
+
+    def test_stats_and_clear(self, tmp_path, capsys):
+        self.populate(tmp_path, capsys)
+        code, out, _ = self.run(["cache", "stats"], capsys)
+        assert code == 0 and "entries for 1 app(s)" in out
+        code, out, _ = self.run(["cache", "clear"], capsys)
+        assert code == 0 and out.startswith("removed ")
+        code, out, _ = self.run(["cache", "stats"], capsys)
+        assert "0 entries" in out
+
+    def test_gc(self, tmp_path, capsys):
+        self.populate(tmp_path, capsys)
+        code, out, _ = self.run(["cache", "gc", "--max-size", "0"], capsys)
+        assert code == 0 and "freed" in out
+        _code, out, _ = self.run(["cache", "stats"], capsys)
+        assert "0 entries" in out
+
+    def test_gc_rejects_bad_size(self, capsys):
+        code, _out, err = self.run(["cache", "gc", "--max-size", "lots"], capsys)
+        assert code == 2 and "unparsable size" in err
+
+    def test_explicit_cache_dir_flag(self, tmp_path, capsys):
+        other = tmp_path / "elsewhere"
+        code, out, _ = self.run(["cache", "stats", "--cache-dir", str(other)], capsys)
+        assert code == 0 and str(other) in out

@@ -84,6 +84,59 @@ class TestReadmeClaims:
         subprocess.run([sys.executable, "-c", probe], check=True)
 
 
+class TestCliDoc:
+    """docs/CLI.md stays exhaustive: every subcommand and flag the
+    argparse tree defines must appear there."""
+
+    def cli_surface(self):
+        """(path, flags) per parser in the subcommand tree."""
+        import argparse
+
+        from repro.cli import build_parser
+
+        surface = []
+
+        def walk(parser, path):
+            flags = set()
+            for action in parser._actions:
+                if isinstance(action, argparse._SubParsersAction):
+                    for name, sub in action.choices.items():
+                        walk(sub, path + [name])
+                elif action.option_strings:
+                    flags.update(
+                        s for s in action.option_strings if s.startswith("--")
+                    )
+            surface.append((path, flags))
+
+        walk(build_parser(), [])
+        return surface
+
+    def test_every_flag_and_subcommand_is_documented(self):
+        doc = (ROOT / "docs" / "CLI.md").read_text()
+        missing = []
+        for path, flags in self.cli_surface():
+            if path and f"`nchecker {' '.join(path[:2])}`" not in doc:
+                missing.append(" ".join(path))
+            for flag in flags:
+                if flag == "--help":
+                    continue  # argparse boilerplate
+                if f"`{flag}" not in doc and f"{flag} " not in doc:
+                    missing.append(f"{'/'.join(path)}: {flag}")
+        assert not missing, f"undocumented CLI surface: {missing}"
+
+    def test_readme_points_at_the_new_docs(self):
+        readme = (ROOT / "README.md").read_text()
+        for page in ("docs/CLI.md", "docs/CACHING.md", "docs/INDEX.md"):
+            assert page in readme
+
+    def test_index_links_every_doc_page(self):
+        index = (ROOT / "docs" / "INDEX.md").read_text()
+        for page in (ROOT / "docs").glob("*.md"):
+            if page.name == "INDEX.md":
+                continue
+            assert f"({page.name})" in index, f"INDEX.md misses {page.name}"
+
+
 class TestParserRobustness:
     """The parser may reject input only with ParseError — never crash."""
 
