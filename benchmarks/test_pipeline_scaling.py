@@ -9,7 +9,9 @@ Three claims from the pipeline work, measured:
   single-core);
 * the persistent artifact cache (``--cache-dir``) makes a warm re-scan
   perform **zero** app-scoped artifact builds with identical findings,
-  timed against both a cold and a cache-disabled sweep;
+  timed against both a cold and a cache-disabled sweep — including the
+  ``threadcontext`` artifact the extended checks add (timed and
+  asserted separately, since default scans never build it);
 * the incremental patch loop rebuilds only the dirty region after each
   patch round — asserted via the public metrics snapshot
   (``artifact.cfg.builds`` / ``artifact.invalidated_methods``), not by
@@ -167,6 +169,62 @@ def test_disk_cache_cold_warm(benchmark, tmp_path):
         "identical_results": True,
         "counters": counters,
         "timings": _timing_fields(warm_snap),
+    })
+
+
+def test_threadcontext_cache_warm(benchmark, tmp_path):
+    """Extended-checks sweep: the thread-context analysis builds once
+    per app cold and **zero** times on a warm re-scan, and its build time
+    is a small fraction of the scan (recorded to BENCH_pipeline.json)."""
+    from repro.core.checker import DEFAULT_CHECKS, EXTENDED_CHECKS
+
+    n_apps = 12
+    apps = [apk for apk, _ in CorpusGenerator(PAPER_PROFILE.scaled(n_apps)).generate()]
+    blobs = [dumps_apk(apk) for apk in apps]
+    cache_dir = tmp_path / "artifact-cache"
+    options = NCheckerOptions(
+        cache_dir=str(cache_dir),
+        enabled_checks=DEFAULT_CHECKS | EXTENDED_CHECKS,
+    )
+
+    def sweep():
+        with use_metrics() as registry:
+            checker = NChecker(options=options)
+            results = [
+                checker.open_session(loads_apk(blob)).scan() for blob in blobs
+            ]
+            return results, registry.snapshot()
+
+    start = time.perf_counter()
+    cold_results, cold_snap = sweep()
+    cold_s = time.perf_counter() - start
+
+    (warm_results, warm_snap) = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    warm_s = benchmark.stats.stats.mean
+
+    assert _scan_signature(cold_results) == _scan_signature(warm_results)
+    assert cold_snap["counters"]["artifact.threadcontext.builds"] == n_apps
+    counters = warm_snap["counters"]
+    assert counters.get("artifact.threadcontext.builds", 0) == 0, (
+        "warm re-scan rebuilt the threadcontext artifact"
+    )
+    assert counters.get("cache.disk.threadcontext.hits", 0) == n_apps
+    build_hist = cold_snap["histograms"].get("artifact.threadcontext.build_ms", {})
+    build_total_ms = build_hist.get("total", 0.0)
+    print(
+        f"\nthreadcontext over {n_apps} apps: cold {cold_s*1000:.0f} ms "
+        f"(analysis builds {build_total_ms:.1f} ms), warm {warm_s*1000:.0f} ms, "
+        f"zero warm builds"
+    )
+    _record("threadcontext_cache", {
+        "n_apps": n_apps,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_build_total_ms": build_total_ms,
+        "warm_threadcontext_builds": 0,
+        "identical_results": True,
+        "counters": counters,
+        "timings": _timing_fields(cold_snap),
     })
 
 

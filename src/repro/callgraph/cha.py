@@ -263,7 +263,25 @@ class CallGraph:
         classes through it (:func:`origin_classes`).  Field-type facts are
         whole-app; if the mutation changed them, every method's edges may
         resolve differently and the graph is rebuilt wholesale.
+
+        Keys not yet in the graph are *adopted* from the APK when it now
+        declares them — the patcher's structural fixes (move-to-AsyncTask
+        workers, injected lifecycle exit methods) add whole methods and
+        classes between rounds.  Adoption re-discovers entry points, since
+        an injected ``onPause``/``onDestroy`` is itself one.
         """
+        keys = list(keys)
+        adopted = False
+        for key in keys:
+            if key in self.methods:
+                continue
+            cls = self.apk.get_class(key[0])
+            method = cls.get_method(key[1], key[2]) if cls is not None else None
+            if method is not None:
+                self.methods[key] = method
+                adopted = True
+        if adopted:
+            self.entry_points = discover_entry_points(self.apk)
         keys = [k for k in keys if k in self.methods]
         new_field_types = collect_field_types(list(self.apk.methods()))
         if new_field_types != self.field_types:

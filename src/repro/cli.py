@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 from .app.loader import dumps_apk, load_apk
-from .core.checker import NChecker, NCheckerOptions
+from .core.checker import DEFAULT_CHECKS, EXTENDED_CHECKS, NChecker, NCheckerOptions
 from .corpus.generator import CorpusGenerator
 from .corpus.profiles import PAPER_PROFILE
 from .eval.experiments import EXPERIMENTS
@@ -49,12 +49,19 @@ def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
     return os.path.join(base, "nchecker")
 
 
+def _enabled_checks(args: argparse.Namespace) -> frozenset[str]:
+    if getattr(args, "extended_checks", False):
+        return DEFAULT_CHECKS | EXTENDED_CHECKS
+    return DEFAULT_CHECKS
+
+
 def _cmd_scan(args: argparse.Namespace) -> int:
     options = NCheckerOptions(
         guard_aware_connectivity=args.guard_aware,
         interprocedural_connectivity=not args.intraprocedural,
         summary_based=not args.no_summaries,
         cache_dir=_resolve_cache_dir(args),
+        enabled_checks=_enabled_checks(args),
     )
     from .pipeline.batch import BatchScanner
 
@@ -166,6 +173,22 @@ def _write_scan_telemetry(args: argparse.Namespace, payloads) -> int:
         log.info("wrote metrics snapshot to %s", args.metrics_out)
     if args.stats:
         print(render_telemetry(merged), file=sys.stderr)
+    return 0
+
+
+def _cmd_checks(args: argparse.Namespace) -> int:
+    """List every registered check: pipeline name, whether the current
+    flags enable it, and the store artifacts it reads."""
+    from .core.checks import check_catalog
+
+    options = NCheckerOptions(
+        summary_based=not args.no_summaries,
+        enabled_checks=_enabled_checks(args),
+    )
+    for check in check_catalog(options):
+        state = "enabled" if check.name in options.enabled_checks else "disabled"
+        reads = ", ".join(check.reads(options))
+        print(f"{check.name:22s} {state:9s} reads: {reads}")
     return 0
 
 
@@ -432,7 +455,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="do not read or write the persistent artifact cache "
         "(output is byte-identical either way)",
     )
+    scan.add_argument(
+        "--extended-checks", action="store_true",
+        help="also run the extended-taxonomy checks (ui-thread-network, "
+        "callback-leak, offline-cache); off by default so output matches "
+        "the paper's five analyses",
+    )
     scan.set_defaults(func=_cmd_scan)
+
+    checks = sub.add_parser(
+        "checks", help="list the registered checks and what each reads",
+        parents=[common],
+    )
+    checks.add_argument(
+        "--extended-checks", action="store_true",
+        help="show the enabled state the scan's --extended-checks flag "
+        "would produce",
+    )
+    checks.add_argument(
+        "--no-summaries", action="store_true",
+        help="show the artifacts read without the summary engine",
+    )
+    checks.set_defaults(func=_cmd_checks)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures",

@@ -32,6 +32,22 @@ if TYPE_CHECKING:
     from ..pipeline.scan import ScanSession
 
 
+#: The paper's five analyses — the default ``enabled_checks`` set.
+DEFAULT_CHECKS: frozenset[str] = frozenset(
+    {"connectivity", "config-apis", "retry-parameters",
+     "failure-notification", "invalid-response"}
+)
+
+#: The extended taxonomy checks (thread-context & callback-lifecycle
+#: analyses).  Opt-in: enable with
+#: ``NCheckerOptions(enabled_checks=DEFAULT_CHECKS | EXTENDED_CHECKS)``
+#: or ``nchecker scan --extended-checks``; default output stays
+#: byte-identical with them off.
+EXTENDED_CHECKS: frozenset[str] = frozenset(
+    {"ui-thread-network", "callback-leak", "offline-cache"}
+)
+
+
 @dataclass(frozen=True)
 class NCheckerOptions:
     """Analysis knobs; the defaults reproduce the paper's configuration.
@@ -75,10 +91,7 @@ class NCheckerOptions:
     #: content, so the flag can never change scan output — only where the
     #: artifacts come from.
     cache_dir: Optional[str] = None
-    enabled_checks: frozenset[str] = frozenset(
-        {"connectivity", "config-apis", "retry-parameters",
-         "failure-notification", "invalid-response"}
-    )
+    enabled_checks: frozenset[str] = DEFAULT_CHECKS
 
 
 @dataclass

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Protocol
 
 from ...callgraph.entrypoints import MethodKey
+from ...obs import metrics
 from ..findings import Finding
 from ..requests import AnalysisContext, NetworkRequest
 
@@ -38,27 +40,31 @@ def methods_invoking(
     """Closure of app methods that (transitively) invoke a call site
     matching ``predicate`` — used to treat ``isNetworkOnline()``-style app
     helpers as the checks they wrap.  Legacy path: in summary mode the
-    checks read the equivalent memoized fact off ``ctx.summaries``."""
-    direct: set[MethodKey] = set()
+    checks read the equivalent memoized fact off ``ctx.summaries``.
+
+    The caller closure is a reverse-edge worklist seeded from the direct
+    matches: each in-edge is followed at most once from its member
+    endpoint (``analysis.methods_invoking.edge_visits`` counts exactly
+    those visits), replacing the old whole-graph re-sweep fixpoint that
+    rescanned every method's out-edges per round (O(n·e) worst case)."""
+    result: set[MethodKey] = set()
     for key, method in ctx.callgraph.methods.items():
         for _idx, invoke in method.invoke_sites():
             if predicate(invoke):
-                direct.add(key)
+                result.add(key)
                 break
-    # Fixpoint over callers-of: a method "performs" the action if it calls
-    # a method that does.
-    result = set(direct)
-    changed = True
-    while changed:
-        changed = False
-        for key in list(ctx.callgraph.methods):
-            if key in result:
-                continue
-            for edge in ctx.callgraph.callees(key):
-                if edge.callee in result:
-                    result.add(key)
-                    changed = True
-                    break
+    # A method "performs" the action if it calls a method that does:
+    # walk caller edges outward from the direct matches, once each.
+    edge_visits = 0
+    frontier = deque(result)
+    while frontier:
+        key = frontier.popleft()
+        for edge in ctx.callgraph.callers(key):
+            edge_visits += 1
+            if edge.caller not in result:
+                result.add(edge.caller)
+                frontier.append(edge.caller)
+    metrics().inc("analysis.methods_invoking.edge_visits", edge_visits)
     return result
 
 

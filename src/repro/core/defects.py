@@ -72,6 +72,12 @@ class DefectKind(Enum):
     #: Experimental (paper Cause 4.1, unchecked by the original tool):
     #: long-lived connections never re-established on network switches.
     NO_RECONNECT_ON_SWITCH = "no-reconnection-on-switch"
+    #: Extended taxonomy classes (PAPERS.md: *Detecting Connectivity
+    #: Issues in Android Apps*), powered by the thread-context and
+    #: callback-lifecycle analyses — opt-in via ``enabled_checks``.
+    UI_THREAD_NETWORK = "ui-thread-network"
+    CALLBACK_LEAK = "callback-leak"
+    MISSED_OFFLINE_CACHE = "missed-offline-cache"
 
 
 #: Defect kind → API misuse pattern (Table 5 column mapping).
@@ -87,6 +93,9 @@ KIND_PATTERN: dict[DefectKind, MisusePattern] = {
     DefectKind.MISSED_RESPONSE_CHECK: MisusePattern.MISS_RESPONSE_CHECK,
     DefectKind.AGGRESSIVE_RETRY_LOOP: MisusePattern.IMPROPER_PARAMETERS,
     DefectKind.NO_RECONNECT_ON_SWITCH: MisusePattern.MISS_REQUEST_SETTING,
+    DefectKind.UI_THREAD_NETWORK: MisusePattern.MISS_REQUEST_SETTING,
+    DefectKind.CALLBACK_LEAK: MisusePattern.MISS_REQUEST_SETTING,
+    DefectKind.MISSED_OFFLINE_CACHE: MisusePattern.MISS_REQUEST_SETTING,
 }
 
 #: Defect kind → root cause (how Table 5 column 2 maps patterns back to §2.3).
@@ -102,6 +111,9 @@ KIND_ROOT_CAUSE: dict[DefectKind, RootCause] = {
     DefectKind.MISSED_RESPONSE_CHECK: RootCause.MISHANDLED_PERMANENT,
     DefectKind.AGGRESSIVE_RETRY_LOOP: RootCause.MISHANDLED_TRANSIENT,
     DefectKind.NO_RECONNECT_ON_SWITCH: RootCause.MISHANDLED_SWITCH,
+    DefectKind.UI_THREAD_NETWORK: RootCause.MISHANDLED_PERMANENT,
+    DefectKind.CALLBACK_LEAK: RootCause.MISHANDLED_SWITCH,
+    DefectKind.MISSED_OFFLINE_CACHE: RootCause.MISHANDLED_PERMANENT,
 }
 
 #: Defect kind → dominant UX impact (used in reports — paper §4.6 item 2).
@@ -117,6 +129,9 @@ KIND_IMPACT: dict[DefectKind, Impact] = {
     DefectKind.MISSED_RESPONSE_CHECK: Impact.CRASH_FREEZE,
     DefectKind.AGGRESSIVE_RETRY_LOOP: Impact.BATTERY_DRAIN,
     DefectKind.NO_RECONNECT_ON_SWITCH: Impact.DYSFUNCTION,
+    DefectKind.UI_THREAD_NETWORK: Impact.CRASH_FREEZE,
+    DefectKind.CALLBACK_LEAK: Impact.BATTERY_DRAIN,
+    DefectKind.MISSED_OFFLINE_CACHE: Impact.DYSFUNCTION,
 }
 
 #: Fix-suggestion templates (paper §4.6 item 5, Fig 7); `{api}` is the
@@ -168,6 +183,23 @@ FIX_SUGGESTIONS: dict[DefectKind, str] = {
         "setReconnectionAllowed(true)) and re-establish {target} when the "
         "network switches; the old connection is stale after a WiFi/cellular "
         "hop."
+    ),
+    DefectKind.UI_THREAD_NETWORK: (
+        "Move the blocking {target} call off the main thread (wrap it in an "
+        "AsyncTask.doInBackground or a worker Runnable); on the UI thread it "
+        "freezes the app and throws NetworkOnMainThreadException."
+    ),
+    DefectKind.CALLBACK_LEAK: (
+        "Pair {api} with its unregistration on every lifecycle exit path "
+        "(unregister in onPause/onDestroy what onResume/onCreate registers); "
+        "a leaked connectivity callback keeps firing after the component is "
+        "gone and drains the battery."
+    ),
+    DefectKind.MISSED_OFFLINE_CACHE: (
+        "The connectivity-failure branch around {target} leaves the user "
+        "with nothing; cache successful responses (LruCache/"
+        "SharedPreferences) and serve the cached copy when the network is "
+        "unavailable."
     ),
 }
 

@@ -16,7 +16,15 @@ further and applies the suggested fixes mechanically:
 * **missed response check** — wrap the unchecked use in a null guard;
 * **aggressive retry loop** — add an inter-attempt ``Thread.sleep``;
 * **missed error-type check** — inspect the error object's type in the
-  callback.
+  callback;
+* **UI-thread network** — transplant the blocking method body into a
+  fresh ``AsyncTask`` subclass's ``doInBackground`` and dispatch it with
+  ``execute()`` (the paper's canonical move-off-main-thread fix);
+* **callback leak** — inject the pairing unregistration into the
+  component's lifecycle exit method, creating the exit method when the
+  class has none;
+* **missed offline cache** — install an ``LruCache`` write next to the
+  guarded request, giving the offline branch a copy to serve.
 
 ``Patcher.patch`` never mutates the input app: it works on a clone (via
 the ``.apkt`` round trip) and returns it with a ledger of applied and
@@ -68,6 +76,7 @@ from .findings import Finding
 
 _CONN_MGR = "android.net.ConnectivityManager"
 _TOAST = "android.widget.Toast"
+_LRU_CACHE = "android.util.LruCache"
 
 
 @dataclass
@@ -108,6 +117,9 @@ class Patcher:
             DefectKind.MISSED_ERROR_TYPE_CHECK,
             DefectKind.MISSED_RESPONSE_CHECK,
             DefectKind.AGGRESSIVE_RETRY_LOOP,
+            DefectKind.UI_THREAD_NETWORK,
+            DefectKind.CALLBACK_LEAK,
+            DefectKind.MISSED_OFFLINE_CACHE,
         }
     )
 
@@ -228,6 +240,9 @@ class Patcher:
                 DefectKind.MISSED_ERROR_TYPE_CHECK: self._fix_error_types,
                 DefectKind.MISSED_RESPONSE_CHECK: self._fix_response_check,
                 DefectKind.AGGRESSIVE_RETRY_LOOP: self._fix_backoff,
+                DefectKind.UI_THREAD_NETWORK: self._fix_ui_thread,
+                DefectKind.CALLBACK_LEAK: self._fix_callback_leak,
+                DefectKind.MISSED_OFFLINE_CACHE: self._fix_offline_cache,
             }[kind]
             self._extra_touched = []
             description = handler(apk, method, finding)
@@ -254,6 +269,10 @@ class Patcher:
     def _anchor_index(self, finding: Finding) -> int:
         if finding.kind is DefectKind.MISSED_CONNECTIVITY_CHECK:
             return 0  # method-entry guard: apply after body patches
+        if finding.kind is DefectKind.UI_THREAD_NETWORK:
+            # Whole-body transplant: apply after every in-body patch so
+            # the worker inherits the already-fixed statements.
+            return -1
         return finding.stmt_index
 
     @staticmethod
@@ -570,6 +589,144 @@ class Patcher:
         )
         insert_statements(method, int(header) + 1, [sleep])
         return "added a 5 s inter-attempt delay"
+
+    # -- extended-taxonomy fixes ---------------------------------------------
+
+    def _fix_ui_thread(self, apk: APK, method: IRMethod, finding: Finding) -> str:
+        """Move-off-main-thread: transplant the whole blocking method body
+        into a fresh ``AsyncTask`` subclass's ``doInBackground`` and leave
+        an ``execute()`` dispatch behind."""
+        from ..app.components import ASYNC_TASK_CLASS
+        from ..ir.classes import IRClass
+
+        worker_name = f"{method.class_name}$NpdWorker_{method.name}"
+        if apk.get_class(worker_name) is not None:
+            raise _Unfixable(f"worker class {worker_name} already exists")
+        work = IRMethod(
+            MethodSig(worker_name, "doInBackground", ("?",), "java.lang.Object"),
+            params=[Local("params")],
+            statements=list(method.statements),
+            labels=dict(method.labels),
+            traps=list(method.traps),
+        )
+        if work.statements and isinstance(work.statements[-1], ReturnStmt):
+            # The original return carries the host's return type;
+            # normalise to the callback's reference return.
+            work.statements[-1] = ReturnStmt(Const(None))
+        else:
+            work.statements.append(ReturnStmt(Const(None)))
+        worker = IRClass(name=worker_name, superclass=ASYNC_TASK_CLASS)
+        worker.add_method(work)
+        apk.add_class(worker)
+        work.validate()
+
+        task = Local("$npd_task", worker_name)
+        method.statements = [
+            AssignStmt(task, NewExpr(worker_name)),
+            InvokeStmt(
+                InvokeExpr(KIND_SPECIAL, task, MethodSig(worker_name, "<init>"))
+            ),
+            InvokeStmt(
+                InvokeExpr(KIND_VIRTUAL, task, MethodSig(worker_name, "execute"))
+            ),
+            self._default_return(method),
+        ]
+        method.labels = {}
+        method.traps = []
+        self._extra_touched.append(method_key(work))
+        return f"moved the blocking body to {worker_name}.doInBackground"
+
+    def _fix_callback_leak(self, apk: APK, method: IRMethod, finding: Finding) -> str:
+        """Inject the pairing unregistration into the component's first
+        lifecycle exit method, creating the method if the class has none."""
+        from ..app.components import ComponentKind
+        from .checks.callback_leak import EXIT_LIFECYCLE_METHODS
+
+        expected = finding.details.get("expected_unregister") or []
+        if not expected:
+            raise _Unfixable("no known unregistration API for this registration")
+        kind_value = finding.details.get("component_kind")
+        try:
+            component = ComponentKind(kind_value)
+        except ValueError:
+            raise _Unfixable(f"unknown component kind {kind_value!r}") from None
+        exits = EXIT_LIFECYCLE_METHODS.get(component, ())
+        if not exits:
+            raise _Unfixable(f"{component.value} has no lifecycle exit method")
+        cls = apk.get_class(method.class_name)
+        if cls is None:
+            raise _Unfixable(f"class {method.class_name} not found")
+        exit_method = None
+        for name in exits:
+            for mname, arity in cls.method_keys():
+                if mname == name:
+                    exit_method = cls.get_method(mname, arity)
+                    break
+            if exit_method is not None:
+                break
+        if exit_method is None:
+            exit_method = IRMethod(
+                MethodSig(method.class_name, exits[0], (), "void"),
+                params=[],
+                statements=[ReturnStmt()],
+            )
+            cls.add_method(exit_method)
+        insert_statements(exit_method, 0, self._unregister_statements(expected[0]))
+        exit_method.validate()
+        self._extra_touched.append(method_key(exit_method))
+        return f"unregister the callback in {exit_method.name}()"
+
+    @staticmethod
+    def _unregister_statements(unregister: str) -> list[Stmt]:
+        if unregister == "unregisterReceiver":
+            recv = Local("$npd_recv")
+            return [
+                AssignStmt(recv, NewExpr("android.content.BroadcastReceiver")),
+                InvokeStmt(
+                    InvokeExpr(
+                        KIND_SPECIAL, recv,
+                        MethodSig("android.content.BroadcastReceiver", "<init>"),
+                    )
+                ),
+                InvokeStmt(
+                    InvokeExpr(
+                        KIND_VIRTUAL, Local("this"),
+                        MethodSig("android.content.Context", "unregisterReceiver", ("?",)),
+                        (recv,),
+                    )
+                ),
+            ]
+        cm = Local("$npd_cm", _CONN_MGR)
+        cb = Local("$npd_cb")
+        callback_cls = "android.net.ConnectivityManager$NetworkCallback"
+        return [
+            AssignStmt(cm, NewExpr(_CONN_MGR)),
+            InvokeStmt(InvokeExpr(KIND_SPECIAL, cm, MethodSig(_CONN_MGR, "<init>"))),
+            AssignStmt(cb, NewExpr(callback_cls)),
+            InvokeStmt(InvokeExpr(KIND_SPECIAL, cb, MethodSig(callback_cls, "<init>"))),
+            InvokeStmt(
+                InvokeExpr(
+                    KIND_VIRTUAL, cm,
+                    MethodSig(_CONN_MGR, unregister, ("?",)),
+                    (cb,),
+                )
+            ),
+        ]
+
+    def _fix_offline_cache(self, apk: APK, method: IRMethod, finding: Finding) -> str:
+        """Give the guarded request's offline branch something to serve:
+        write the response into an ``LruCache`` next to the request."""
+        site = self._current_index_of(method, finding)
+        cache = Local("$npd_cache", _LRU_CACHE)
+        stmts: list[Stmt] = [
+            AssignStmt(cache, NewExpr(_LRU_CACHE)),
+            InvokeStmt(
+                InvokeExpr(KIND_SPECIAL, cache, MethodSig(_LRU_CACHE, "<init>"))
+            ),
+            _vcall(cache, _LRU_CACHE, "put", Const("latest"), Const("data")),
+        ]
+        insert_statements(method, site, stmts, retarget_labels_at_index=True)
+        return "cache the response for the offline branch (LruCache.put)"
 
     # -- helpers -------------------------------------------------------------
 

@@ -37,6 +37,7 @@ from ..libmodels.volley import VOLLEY_METHOD_CODES
 
 if TYPE_CHECKING:
     from ..dataflow.summaries import SummaryEngine
+    from ..dataflow.threadcontext import ThreadContextAnalysis
     from .retry_loops import RetryLoop
 
 #: A stable request identity: the enclosing method plus the statement
@@ -68,6 +69,10 @@ class AnalysisContext:
     #: The interprocedural summary engine (``NCheckerOptions.summary_based``);
     #: ``None`` runs the checks on their legacy horizon-limited paths.
     summaries: Optional["SummaryEngine"] = None
+    #: Per-method thread contexts (`repro.dataflow.threadcontext`),
+    #: injected by the scan session only when an enabled pass reads the
+    #: ``threadcontext`` artifact.
+    threadcontext: Optional["ThreadContextAnalysis"] = None
 
     @classmethod
     def build(cls, apk: APK, registry: LibraryRegistry) -> "AnalysisContext":

@@ -5,6 +5,8 @@
   Figs 8-9);
 * :mod:`repro.corpus.opensource` — the deterministic 16-app accuracy
   corpus (Table 9);
+* :mod:`repro.corpus.lifecycle` — the deterministic corpus for the
+  extended-taxonomy checks (Table 6x);
 * :mod:`repro.corpus.study` — the §2 empirical-study dataset (Tables 1-3,
   Fig 4).
 """
@@ -21,6 +23,7 @@ from .groundtruth import (
     overall_accuracy,
     table9_confusions,
 )
+from .lifecycle import EXTENDED_KINDS, build_lifecycle_corpus
 from .opensource import build_opensource_corpus
 from .profiles import CorpusProfile, DefectRates, LibraryMix, PAPER_PROFILE
 from .snippets import (
@@ -56,6 +59,7 @@ __all__ = [
     "CorpusGenerator",
     "CorpusProfile",
     "DefectRates",
+    "EXTENDED_KINDS",
     "IMPACT_CASES",
     "InjectedRequest",
     "LibraryMix",
@@ -70,6 +74,7 @@ __all__ = [
     "SUPPORTED_LIBRARIES",
     "TABLE9_ROWS",
     "TOTAL_STUDIED_NPDS",
+    "build_lifecycle_corpus",
     "build_opensource_corpus",
     "confusion_for_app",
     "expected_defects",

@@ -1,0 +1,379 @@
+"""Deterministic corpus for the extended taxonomy checks (Table 6x).
+
+Each app exercises one defect class of the thread-context &
+callback-lifecycle analyses — a buggy shape that must be flagged and the
+matching clean shapes that must *not* be (the precision side of the
+extended Table 6 accounting):
+
+* ``ui-thread-network`` — a blocking request reachable from a
+  main-thread entry point, direct (``onClick``) and through an app
+  helper (``onCreate`` → ``fetchData``); clean variants hand the same
+  request to an ``AsyncTask.doInBackground`` or use the library's
+  asynchronous ``enqueue`` path.
+* ``callback-leak`` — ``registerReceiver`` / ``registerNetworkCallback``
+  with no unregistration reachable from any lifecycle exit method;
+  clean variants release directly (``onDestroy``) or through a helper
+  invoked from ``onPause``.
+* ``missed-offline-cache`` — connectivity-guarded requests (inline and
+  helper-guarded) whose offline branch has no cached-response fallback;
+  clean variants write an ``LruCache`` (inline or via a helper) or skip
+  the guard entirely (the connectivity check's territory, not ours).
+
+The ground-truth ledger reuses :class:`~repro.corpus.snippets.
+InjectedRequest` records with explicit ``expected`` sets restricted to
+the extended kinds, so :func:`~repro.corpus.groundtruth.
+confusion_for_app` scores precision/recall per kind exactly like
+Table 9 does for the paper's kinds.
+"""
+
+from __future__ import annotations
+
+from ..app.apk import APK
+from ..core.defects import DefectKind
+from .appbuilder import AppBuilder
+from .groundtruth import AppGroundTruth
+from .snippets import Connectivity, Notification, RequestSpec, inject_request
+
+_CONN_MGR = "android.net.ConnectivityManager"
+_CONTEXT = "android.content.Context"
+_LRU_CACHE = "android.util.LruCache"
+
+#: The defect kinds the lifecycle corpus measures (extended Table 6 rows).
+EXTENDED_KINDS: tuple[DefectKind, ...] = (
+    DefectKind.UI_THREAD_NETWORK,
+    DefectKind.CALLBACK_LEAK,
+    DefectKind.MISSED_OFFLINE_CACHE,
+)
+
+
+def _record(
+    truth: AppGroundTruth, record, *extra: DefectKind
+) -> None:
+    """Keep only the extended-kind expectations on an injected request —
+    the paper kinds are scored by Table 9, not here."""
+    record.expected = {k for k in record.expected if k in EXTENDED_KINDS}
+    record.expected.update(extra)
+    truth.requests.append(record)
+
+
+def _marker(
+    truth: AppGroundTruth, host_class: str, host_method: str, *kinds: DefectKind
+) -> None:
+    """A ledger entry for a defect with no network request of its own
+    (callback leaks): only the (class, method, kind) triple matters."""
+    from .snippets import InjectedRequest
+
+    truth.requests.append(
+        InjectedRequest(RequestSpec(), host_class, host_method, set(kinds))
+    )
+
+
+# ---------------------------------------------------------------------------
+# ui-thread-network
+# ---------------------------------------------------------------------------
+
+
+def _ui_thread_buggy_direct() -> tuple[APK, AppGroundTruth]:
+    """Blocking request straight inside a UI callback."""
+    app = AppBuilder("org.lifecycle.uidirect")
+    truth = AppGroundTruth(app.package)
+    activity = app.activity("MainActivity")
+    body = activity.method("onClick", params=[("android.view.View", "v")])
+    record = inject_request(
+        app, body, RequestSpec(with_notification=Notification.TOAST),
+        user_initiated=True,
+    )
+    body.ret()
+    activity.add(body)
+    _record(truth, record, DefectKind.UI_THREAD_NETWORK)
+    return app.build(), truth
+
+
+def _ui_thread_buggy_helper() -> tuple[APK, AppGroundTruth]:
+    """Blocking request in an app helper called from ``onCreate`` — the
+    main-thread context must propagate over the direct call edge."""
+    app = AppBuilder("org.lifecycle.uihelper")
+    truth = AppGroundTruth(app.package)
+    activity = app.activity("SplashActivity")
+    helper = activity.method("fetchData")
+    record = inject_request(
+        app, helper, RequestSpec(with_notification=Notification.TOAST),
+        user_initiated=True,
+    )
+    helper.ret()
+    activity.add(helper)
+    from ..ir.values import Local
+
+    body = activity.method("onCreate", params=[("android.os.Bundle", "saved")])
+    body.call(Local("this"), "fetchData", cls=f"{app.package}.SplashActivity")
+    body.ret()
+    activity.add(body)
+    _record(truth, record, DefectKind.UI_THREAD_NETWORK)
+    return app.build(), truth
+
+
+def _ui_thread_clean_task() -> tuple[APK, AppGroundTruth]:
+    """The canonical fix: the blocking request lives in
+    ``AsyncTask.doInBackground``, dispatched from the UI callback."""
+    app = AppBuilder("org.lifecycle.uitask")
+    truth = AppGroundTruth(app.package)
+    task = app.async_task("FetchTask")
+    work = task.method(
+        "doInBackground", params=[("java.lang.Object", "params")],
+        return_type="java.lang.Object",
+    )
+    record = inject_request(
+        app, work, RequestSpec(with_notification=Notification.HANDLER),
+        user_initiated=True,
+    )
+    work.ret(None)
+    task.add(work)
+
+    activity = app.activity("MainActivity")
+    body = activity.method("onClick", params=[("android.view.View", "v")])
+    t = body.new(f"{app.package}.FetchTask", body.fresh_local("task").name)
+    body.call(t, "execute", cls=f"{app.package}.FetchTask")
+    body.ret()
+    activity.add(body)
+    _record(truth, record)  # background context: no UI-thread defect
+    return app.build(), truth
+
+
+def _ui_thread_clean_async() -> tuple[APK, AppGroundTruth]:
+    """The library's own asynchronous path (OkHttp ``enqueue``) — the
+    request site never blocks whatever thread runs it."""
+    app = AppBuilder("org.lifecycle.uiasync")
+    truth = AppGroundTruth(app.package)
+    activity = app.activity("MainActivity")
+    body = activity.method("onClick", params=[("android.view.View", "v")])
+    record = inject_request(
+        app, body, RequestSpec(library="okhttp", use_async=True),
+        user_initiated=True,
+    )
+    body.ret()
+    activity.add(body)
+    _record(truth, record)
+    return app.build(), truth
+
+
+# ---------------------------------------------------------------------------
+# callback-leak
+# ---------------------------------------------------------------------------
+
+
+def _emit_register_receiver(body) -> None:
+    from ..ir.values import Local
+
+    recv = body.new("android.content.BroadcastReceiver", body.fresh_local("recv").name)
+    body.call(Local("this"), "registerReceiver", recv, cls=_CONTEXT)
+
+
+def _leak_buggy_activity() -> tuple[APK, AppGroundTruth]:
+    """Receiver registered in ``onResume``; no exit path releases it."""
+    app = AppBuilder("org.lifecycle.leakactivity")
+    truth = AppGroundTruth(app.package)
+    activity = app.activity("RadioActivity")
+    body = activity.method("onResume")
+    _emit_register_receiver(body)
+    body.ret()
+    activity.add(body)
+    _marker(
+        truth, f"{app.package}.RadioActivity", "onResume", DefectKind.CALLBACK_LEAK
+    )
+    return app.build(), truth
+
+
+def _leak_buggy_service() -> tuple[APK, AppGroundTruth]:
+    """Network callback registered in a Service's ``onCreate`` with no
+    ``onDestroy`` at all — nothing can ever release it."""
+    app = AppBuilder("org.lifecycle.leakservice")
+    truth = AppGroundTruth(app.package)
+    service = app.service("WatchService")
+    body = service.method("onCreate")
+    cm = body.new(_CONN_MGR, body.fresh_local("cm").name)
+    cb = body.new(
+        "android.net.ConnectivityManager$NetworkCallback",
+        body.fresh_local("cb").name,
+    )
+    body.call(cm, "registerNetworkCallback", cb, cls=_CONN_MGR)
+    body.ret()
+    service.add(body)
+    _marker(
+        truth, f"{app.package}.WatchService", "onCreate", DefectKind.CALLBACK_LEAK
+    )
+    return app.build(), truth
+
+
+def _leak_clean_activity() -> tuple[APK, AppGroundTruth]:
+    """Register in ``onResume``, release through a helper reached from
+    ``onPause`` — the unregistration is found in the exit cone, not the
+    exit method itself."""
+    from ..ir.values import Local
+
+    app = AppBuilder("org.lifecycle.cleanactivity")
+    truth = AppGroundTruth(app.package)
+    activity = app.activity("RadioActivity")
+    cls_name = f"{app.package}.RadioActivity"
+
+    body = activity.method("onResume")
+    _emit_register_receiver(body)
+    body.ret()
+    activity.add(body)
+
+    helper = activity.method("releaseReceiver")
+    recv = helper.new("android.content.BroadcastReceiver", "recv")
+    helper.call(Local("this"), "unregisterReceiver", recv, cls=_CONTEXT)
+    helper.ret()
+    activity.add(helper)
+
+    body = activity.method("onPause")
+    body.call(Local("this"), "releaseReceiver", cls=cls_name)
+    body.ret()
+    activity.add(body)
+    _marker(truth, cls_name, "onResume")  # expected: nothing
+    return app.build(), truth
+
+
+def _leak_clean_service() -> tuple[APK, AppGroundTruth]:
+    """Register in ``onCreate``, unregister directly in ``onDestroy``."""
+    app = AppBuilder("org.lifecycle.cleanservice")
+    truth = AppGroundTruth(app.package)
+    service = app.service("WatchService")
+
+    body = service.method("onCreate")
+    cm = body.new(_CONN_MGR, body.fresh_local("cm").name)
+    cb = body.new(
+        "android.net.ConnectivityManager$NetworkCallback",
+        body.fresh_local("cb").name,
+    )
+    body.call(cm, "registerNetworkCallback", cb, cls=_CONN_MGR)
+    body.ret()
+    service.add(body)
+
+    body = service.method("onDestroy")
+    cm = body.new(_CONN_MGR, body.fresh_local("cm").name)
+    cb = body.new(
+        "android.net.ConnectivityManager$NetworkCallback",
+        body.fresh_local("cb").name,
+    )
+    body.call(cm, "unregisterNetworkCallback", cb, cls=_CONN_MGR)
+    body.ret()
+    service.add(body)
+    _marker(truth, f"{app.package}.WatchService", "onCreate")
+    return app.build(), truth
+
+
+# ---------------------------------------------------------------------------
+# missed-offline-cache
+# ---------------------------------------------------------------------------
+
+
+def _service_request(
+    package_leaf: str, spec: RequestSpec
+) -> tuple[AppBuilder, AppGroundTruth, object, object]:
+    """A Service whose ``onStartCommand`` hosts one injected request;
+    returns the open builder/body so callers can append cache code."""
+    app = AppBuilder(f"org.lifecycle.{package_leaf}")
+    truth = AppGroundTruth(app.package)
+    service = app.service("SyncService")
+    body = service.method(
+        "onStartCommand",
+        params=[("android.content.Intent", "intent"), ("int", "flags")],
+        return_type="int",
+    )
+    record = inject_request(app, body, spec, user_initiated=False, background=True)
+    return app, truth, (service, body), record
+
+
+def _finish_service(app, service, body) -> APK:
+    body.ret(0)
+    service.add(body)
+    return app.build()
+
+
+def _offline_buggy_guarded() -> tuple[APK, AppGroundTruth]:
+    """Connectivity-guarded request, offline branch does nothing."""
+    app, truth, (service, body), record = _service_request(
+        "offlineguarded", RequestSpec(connectivity=Connectivity.GUARDED)
+    )
+    apk = _finish_service(app, service, body)
+    _record(truth, record, DefectKind.MISSED_OFFLINE_CACHE)
+    return apk, truth
+
+
+def _offline_buggy_helper_guard() -> tuple[APK, AppGroundTruth]:
+    """Same defect behind an app connectivity helper (``NetUtils``)."""
+    app, truth, (service, body), record = _service_request(
+        "offlinehelper", RequestSpec(connectivity=Connectivity.HELPER)
+    )
+    apk = _finish_service(app, service, body)
+    _record(truth, record, DefectKind.MISSED_OFFLINE_CACHE)
+    return apk, truth
+
+
+def _offline_clean_cache() -> tuple[APK, AppGroundTruth]:
+    """The fix: the successful response is written to an ``LruCache``."""
+    app, truth, (service, body), record = _service_request(
+        "offlinecached", RequestSpec(connectivity=Connectivity.GUARDED)
+    )
+    cache = body.new(_LRU_CACHE, body.fresh_local("cache").name)
+    body.call(cache, "put", "latest", "data", cls=_LRU_CACHE)
+    apk = _finish_service(app, service, body)
+    _record(truth, record)
+    return apk, truth
+
+
+def _offline_clean_helper_cache() -> tuple[APK, AppGroundTruth]:
+    """The cache fallback lives in a helper method in the request's
+    caller closure — reach counts, not the request method itself."""
+    from ..ir.values import Local
+
+    app, truth, (service, body), record = _service_request(
+        "offlinehelpercache", RequestSpec(connectivity=Connectivity.GUARDED)
+    )
+    cls_name = f"{app.package}.SyncService"
+    body.call(Local("this"), "persist", cls=cls_name)
+
+    helper = service.method("persist")
+    cache = helper.new(_LRU_CACHE, "cache")
+    helper.call(cache, "put", "latest", "data", cls=_LRU_CACHE)
+    helper.ret()
+    service.add(helper)
+
+    apk = _finish_service(app, service, body)
+    _record(truth, record)
+    return apk, truth
+
+
+def _offline_clean_unguarded() -> tuple[APK, AppGroundTruth]:
+    """No connectivity check at all: that is the connectivity check's
+    finding; reporting a missing cache too would double-count it."""
+    app, truth, (service, body), record = _service_request(
+        "offlineunguarded", RequestSpec(connectivity=Connectivity.NONE)
+    )
+    apk = _finish_service(app, service, body)
+    _record(truth, record)
+    return apk, truth
+
+
+_BUILDERS = (
+    _ui_thread_buggy_direct,
+    _ui_thread_buggy_helper,
+    _ui_thread_clean_task,
+    _ui_thread_clean_async,
+    _leak_buggy_activity,
+    _leak_buggy_service,
+    _leak_clean_activity,
+    _leak_clean_service,
+    _offline_buggy_guarded,
+    _offline_buggy_helper_guard,
+    _offline_clean_cache,
+    _offline_clean_helper_cache,
+    _offline_clean_unguarded,
+)
+
+
+def build_lifecycle_corpus() -> list[tuple[APK, AppGroundTruth]]:
+    """Build the deterministic lifecycle-corpus apps (buggy + clean
+    variants for each extended defect class)."""
+    return [builder() for builder in _BUILDERS]

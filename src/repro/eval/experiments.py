@@ -199,6 +199,59 @@ def run_table6(n_apps: int = 285) -> ExperimentReport:
     return ExperimentReport("table6", "Detection effectiveness", text, data)
 
 
+def run_table6x() -> ExperimentReport:
+    """Extended Table 6: per-kind precision/recall of the thread-context
+    and callback-lifecycle checks on the lifecycle corpus."""
+    from ..core.checker import DEFAULT_CHECKS, EXTENDED_CHECKS, NCheckerOptions
+    from ..corpus.groundtruth import Confusion, confusion_for_app
+    from ..corpus.lifecycle import EXTENDED_KINDS, build_lifecycle_corpus
+
+    corpus = build_lifecycle_corpus()
+    checker = NChecker(
+        options=NCheckerOptions(enabled_checks=DEFAULT_CHECKS | EXTENDED_CHECKS)
+    )
+    results = [checker.scan(apk) for apk, _ in corpus]
+    rows = [
+        ["NPD cause", "# Injected", "# Correct", "# FP", "# FN",
+         "Precision", "Recall"]
+    ]
+    data: dict = {}
+    for kind in EXTENDED_KINDS:
+        total = Confusion()
+        for (_apk, truth), result in zip(corpus, results):
+            total = total + confusion_for_app(truth, result, frozenset({kind}))
+        injected = total.correct + total.false_negatives
+        precision = total.correct / total.reported if total.reported else 1.0
+        recall = total.correct / injected if injected else 1.0
+        rows.append(
+            [
+                kind.value,
+                injected,
+                total.correct,
+                total.false_positives,
+                total.false_negatives,
+                f"{precision:.2f}",
+                f"{recall:.2f}",
+            ]
+        )
+        data[kind.value] = {
+            "injected": injected,
+            "correct": total.correct,
+            "false_positives": total.false_positives,
+            "false_negatives": total.false_negatives,
+            "precision": precision,
+            "recall": recall,
+        }
+    text = render_table(
+        rows, "Table 6x: extended-taxonomy checks on the lifecycle corpus"
+    )
+    text += f"\nApps: {len(corpus)} (buggy + clean variants per defect class)"
+    data["n_apps"] = len(corpus)
+    return ExperimentReport(
+        "table6x", "Extended-check precision/recall", text, data
+    )
+
+
 def run_table7(n_apps: int = 285) -> ExperimentReport:
     results = corpus_scan(n_apps)
     counts = table7(results)
@@ -425,6 +478,7 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentReport]] = {
     "study": run_study_tables,
     "table4": run_table4,
     "table6": run_table6,
+    "table6x": run_table6x,
     "table7": run_table7,
     "table8": run_table8,
     "fig8": run_fig8,

@@ -7,15 +7,25 @@ and are asserted in the test suite.
 """
 
 from .android import (
+    CACHE_READ_APIS,
+    CACHE_WRITE_APIS,
+    CALLBACK_REGISTRATION_APIS,
+    CALLBACK_UNREGISTRATION_APIS,
     CONNECTIVITY_CHECK_APIS,
     HANDLER_CLASSES,
     HANDLER_NOTIFY_METHODS,
     LOG_CLASSES,
     UI_NOTIFICATION_CLASSES,
+    UNREGISTER_FOR,
+    is_cache_api,
+    is_cache_read,
+    is_cache_write,
     is_connectivity_check,
     is_handler_notification,
     is_logging,
     is_ui_notification,
+    registration_name,
+    unregistration_name,
 )
 from .annotations import (
     CallbackRole,
@@ -35,6 +45,8 @@ from .asynchttp import ASYNC_HTTP
 from .basichttp import BASIC_HTTP
 from .capabilities import (
     CAPABILITY_MATRIX,
+    EXTENDED_CAPABILITY_MATRIX,
+    EXTENDED_CAUSE_ROWS,
     LIBRARY_COLUMNS,
     NPD_CAUSE_ROWS,
     Tolerance,
@@ -63,7 +75,7 @@ NATIVE_LIBRARY_KEYS = frozenset({"httpurlconnection", "apache"})
 #: the persistent artifact cache (`repro.pipeline.diskcache`) folds this
 #: into every cache key, so stale artifacts derived under older
 #: annotations are invalidated instead of silently reused.
-LIBMODELS_VERSION = 1
+LIBMODELS_VERSION = 2  # v2: callbacks_on_main_thread on LibraryModel
 
 
 def default_registry() -> LibraryRegistry:
@@ -85,8 +97,14 @@ __all__ = [
     "LONG_LIVED_CONNECTION_CLASSES",
     "ASYNC_HTTP",
     "BASIC_HTTP",
+    "CACHE_READ_APIS",
+    "CACHE_WRITE_APIS",
+    "CALLBACK_REGISTRATION_APIS",
+    "CALLBACK_UNREGISTRATION_APIS",
     "CAPABILITY_MATRIX",
     "CONNECTIVITY_CHECK_APIS",
+    "EXTENDED_CAPABILITY_MATRIX",
+    "EXTENDED_CAUSE_ROWS",
     "CallbackRole",
     "CallbackSpec",
     "ConfigAPI",
@@ -108,18 +126,24 @@ __all__ = [
     "TargetAPI",
     "Tolerance",
     "UI_NOTIFICATION_CLASSES",
+    "UNREGISTER_FOR",
     "VOLLEY",
     "VOLLEY_ERROR_TYPES",
     "VOLLEY_METHOD_CODES",
     "VOLLEY_REQUEST_CLASSES",
     "default_registry",
     "extended_registry",
+    "is_cache_api",
+    "is_cache_read",
+    "is_cache_write",
     "is_connectivity_monitor",
     "is_connectivity_check",
     "is_handler_notification",
     "is_logging",
     "is_ui_notification",
+    "registration_name",
     "render_table4",
     "tolerance",
     "tolerates_automatically",
+    "unregistration_name",
 ]

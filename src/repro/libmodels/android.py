@@ -54,6 +54,98 @@ HANDLER_NOTIFY_METHODS: frozenset[str] = frozenset(
 LOG_CLASSES: frozenset[str] = frozenset({"android.util.Log"})
 
 
+#: Connectivity-callback registration APIs: each maps to the set of
+#: unregistration method names that release it (the callback-lifecycle
+#: typestate pairing — register in ``onResume`` ⇒ an unregistration must
+#: be reachable from a lifecycle exit method).
+CALLBACK_REGISTRATION_APIS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("android.content.Context", "registerReceiver"),
+        ("android.net.ConnectivityManager", "registerNetworkCallback"),
+        ("android.net.ConnectivityManager", "registerDefaultNetworkCallback"),
+    }
+)
+
+CALLBACK_UNREGISTRATION_APIS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("android.content.Context", "unregisterReceiver"),
+        ("android.net.ConnectivityManager", "unregisterNetworkCallback"),
+    }
+)
+
+#: Registration method name → the unregistration names that pair with it.
+UNREGISTER_FOR: dict[str, frozenset[str]] = {
+    "registerReceiver": frozenset({"unregisterReceiver"}),
+    "registerNetworkCallback": frozenset({"unregisterNetworkCallback"}),
+    "registerDefaultNetworkCallback": frozenset({"unregisterNetworkCallback"}),
+}
+
+_REGISTRATION_METHOD_NAMES = frozenset(m for _, m in CALLBACK_REGISTRATION_APIS)
+_UNREGISTRATION_METHOD_NAMES = frozenset(
+    m for _, m in CALLBACK_UNREGISTRATION_APIS
+)
+
+#: Local response-cache APIs the offline-cache check accepts as a
+#: fallback data source: writing a fetched response into (or reading a
+#: stale copy out of) an in-memory/preference cache.
+CACHE_WRITE_APIS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("android.util.LruCache", "put"),
+        ("android.content.SharedPreferences$Editor", "putString"),
+        ("android.content.SharedPreferences$Editor", "apply"),
+        ("android.content.SharedPreferences$Editor", "commit"),
+    }
+)
+
+CACHE_READ_APIS: frozenset[tuple[str, str]] = frozenset(
+    {
+        ("android.util.LruCache", "get"),
+        ("android.content.SharedPreferences", "getString"),
+    }
+)
+
+def registration_name(invoke: InvokeExpr) -> "str | None":
+    """The registration method name if this call site registers a
+    connectivity callback/receiver, else ``None``."""
+    key = (invoke.sig.class_name, invoke.sig.name)
+    if key in CALLBACK_REGISTRATION_APIS:
+        return invoke.sig.name
+    if (
+        invoke.sig.class_name == "?"
+        and invoke.sig.name in _REGISTRATION_METHOD_NAMES
+    ):
+        return invoke.sig.name
+    return None
+
+
+def unregistration_name(invoke: InvokeExpr) -> "str | None":
+    """The unregistration method name if this call site releases a
+    connectivity callback/receiver, else ``None``."""
+    key = (invoke.sig.class_name, invoke.sig.name)
+    if key in CALLBACK_UNREGISTRATION_APIS:
+        return invoke.sig.name
+    if (
+        invoke.sig.class_name == "?"
+        and invoke.sig.name in _UNREGISTRATION_METHOD_NAMES
+    ):
+        return invoke.sig.name
+    return None
+
+
+def is_cache_write(invoke: InvokeExpr) -> bool:
+    return (invoke.sig.class_name, invoke.sig.name) in CACHE_WRITE_APIS
+
+
+def is_cache_read(invoke: InvokeExpr) -> bool:
+    return (invoke.sig.class_name, invoke.sig.name) in CACHE_READ_APIS
+
+
+def is_cache_api(invoke: InvokeExpr) -> bool:
+    """Whether a call site touches a local response cache (read or
+    write) — the fallback the offline-cache check looks for."""
+    return is_cache_write(invoke) or is_cache_read(invoke)
+
+
 def is_connectivity_check(invoke: InvokeExpr) -> bool:
     """Whether a call site performs a network-connectivity check."""
     key = (invoke.sig.class_name, invoke.sig.name)

@@ -152,6 +152,11 @@ class LibraryModel:
     #: Whether the library exposes error *types* to its error callbacks
     #: (only Volley in the studied set — paper §4.4.3).
     exposes_error_types: bool = False
+    #: Which thread the library delivers its callbacks on: ``True`` for
+    #: main-thread delivery (Volley, loopj post to the UI thread),
+    #: ``False`` for a library worker thread (OkHttp's dispatcher) — the
+    #: seed the thread-context analysis uses for ``lib_callback`` edges.
+    callbacks_on_main_thread: bool = True
 
     @property
     def has_timeout_api(self) -> bool:

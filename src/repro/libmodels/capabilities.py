@@ -60,11 +60,34 @@ CAPABILITY_MATRIX: dict[str, tuple[Tolerance, ...]] = {
 }
 
 
+#: Extended NPD causes (beyond the paper's Table 4): the taxonomy-driven
+#: classes added by the thread-context and callback-lifecycle analyses.
+#: Kept in separate structures so the paper matrix above stays exactly as
+#: printed (and test-asserted).
+EXTENDED_CAUSE_ROWS: tuple[str, ...] = (
+    "Network call on UI thread",
+    "Connectivity callback leak",
+    "No offline cache fallback",
+)
+
+#: Extended matrix (rows above × LIBRARY_COLUMNS).  Volley and loopj run
+#: the request off-thread automatically (⋆ for UI-thread calls); Volley's
+#: request queue caches responses by default (⋆ for offline fallback);
+#: everything else offers APIs the developer must wire up (©).
+EXTENDED_CAPABILITY_MATRIX: dict[str, tuple[Tolerance, ...]] = {
+    "Network call on UI thread": (_M, _M, _A, _M, _A, _M),
+    "Connectivity callback leak": (_M, _M, _M, _M, _M, _M),
+    "No offline cache fallback": (_M, _M, _A, _M, _M, _M),
+}
+
+
 def tolerance(lib_key: str, cause_row: str) -> Tolerance:
     try:
         column = LIBRARY_COLUMNS.index(lib_key)
     except ValueError:
         raise KeyError(f"unknown library {lib_key!r}") from None
+    if cause_row in EXTENDED_CAPABILITY_MATRIX:
+        return EXTENDED_CAPABILITY_MATRIX[cause_row][column]
     return CAPABILITY_MATRIX[cause_row][column]
 
 

@@ -61,4 +61,7 @@ OKHTTP = LibraryModel(
         retries=1,  # retryOnConnectionFailure=true
         retries_apply_to_post=False,
     ),
+    # OkHttp invokes Callback on a dispatcher worker thread, not the UI
+    # thread (the app must hop back itself to touch views).
+    callbacks_on_main_thread=False,
 )

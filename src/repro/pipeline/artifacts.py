@@ -68,6 +68,7 @@ SUMMARIES = ArtifactKey("summaries", deps=("callgraph",))
 REQUESTS = ArtifactKey("requests", deps=("callgraph",))
 RETRY_LOOPS = ArtifactKey("retry-loops", deps=("requests",))
 ICC_MODEL = ArtifactKey("icc-model")
+THREADCONTEXT = ArtifactKey("threadcontext", deps=("callgraph",))
 
 #: Method-scoped artifacts (per-method, built through the cache protocol).
 CFG = ArtifactKey("cfg", scope="method")
@@ -77,7 +78,16 @@ DEFUSE = ArtifactKey("defuse", scope="method", deps=("cfg",))
 #: artifact names checks declare.
 ARTIFACTS: dict[str, ArtifactKey] = {
     key.name: key
-    for key in (CALLGRAPH, SUMMARIES, REQUESTS, RETRY_LOOPS, ICC_MODEL, CFG, DEFUSE)
+    for key in (
+        CALLGRAPH,
+        SUMMARIES,
+        REQUESTS,
+        RETRY_LOOPS,
+        ICC_MODEL,
+        THREADCONTEXT,
+        CFG,
+        DEFUSE,
+    )
 }
 
 
@@ -145,6 +155,7 @@ class ArtifactStore:
             REQUESTS.name: self._build_requests,
             RETRY_LOOPS.name: self._build_retry_loops,
             ICC_MODEL.name: self._build_icc_model,
+            THREADCONTEXT.name: self._build_threadcontext,
         }
 
     # -- telemetry -----------------------------------------------------------
@@ -249,6 +260,11 @@ class ArtifactStore:
 
         return build_icc_model(self.apk, self)
 
+    def _build_threadcontext(self):
+        from ..dataflow.threadcontext import ThreadContextAnalysis
+
+        return ThreadContextAnalysis(self.get(CALLGRAPH), self.registry)
+
     # -- method-scoped artifacts (MethodAnalysisCache protocol) --------------
 
     def cfg(self, method) -> "CFGGraph":
@@ -300,8 +316,9 @@ class ArtifactStore:
            facts);
         3. invalidate the summary entries of the dirty cone;
         4. drop the whole-app extraction artifacts (requests, retry
-           loops, ICC model) — they enumerate statement indices, which
-           insertions shift; they rebuild against the warm method cache.
+           loops, ICC model, thread contexts) — they enumerate statement
+           indices or call edges, which insertions shift; they rebuild
+           against the warm method cache.
         """
         touched = set(touched)
         if not touched:
@@ -319,7 +336,7 @@ class ArtifactStore:
         engine = self._app.get(SUMMARIES.name)
         if engine is not None:
             engine.invalidate_methods(dirty)
-        for key in (REQUESTS, RETRY_LOOPS, ICC_MODEL):
+        for key in (REQUESTS, RETRY_LOOPS, ICC_MODEL, THREADCONTEXT):
             self._app.pop(key.name, None)
         if self._context is not None:
             self._context.retry_loops = []

@@ -110,6 +110,7 @@ OPTIONS_READ_BY: dict[str, tuple[str, ...]] = {
     "requests": (),
     "retry-loops": (),
     "icc-model": (),
+    "threadcontext": (),
 }
 
 

@@ -27,6 +27,7 @@ from .artifacts import (
     REQUESTS,
     RETRY_LOOPS,
     SUMMARIES,
+    THREADCONTEXT,
     ArtifactKey,
 )
 
@@ -40,6 +41,7 @@ _APP_ARTIFACT_ORDER: tuple[ArtifactKey, ...] = (
     SUMMARIES,
     RETRY_LOOPS,
     ICC_MODEL,
+    THREADCONTEXT,
 )
 
 

@@ -32,7 +32,14 @@ from typing import TYPE_CHECKING, Optional
 
 from ..dataflow.summaries import apk_fingerprint
 from ..obs import metrics, span
-from .artifacts import ICC_MODEL, REQUESTS, RETRY_LOOPS, SUMMARIES, ArtifactStore
+from .artifacts import (
+    ICC_MODEL,
+    REQUESTS,
+    RETRY_LOOPS,
+    SUMMARIES,
+    THREADCONTEXT,
+    ArtifactStore,
+)
 from .passes import ScanPlan, ScheduledPass, build_plan, order_passes, resolve_reads
 
 if TYPE_CHECKING:
@@ -71,11 +78,14 @@ class ScanSession:
         """Fresh check instances for one scan (their per-request info maps
         are part of the scan's result), as (pass, enabled, instance)
         bookkeeping the result assembly needs."""
+        from ..core.checks.callback_leak import CallbackLeakCheck
         from ..core.checks.config_apis import ConfigAPICheck
         from ..core.checks.connectivity import ConnectivityCheck
         from ..core.checks.notification import NotificationCheck
+        from ..core.checks.offline_cache import OfflineCacheCheck
         from ..core.checks.response import ResponseCheck
         from ..core.checks.retry_params import RetryParameterCheck
+        from ..core.checks.ui_thread_network import UiThreadNetworkCheck
 
         opts = self.options
         enabled = opts.enabled_checks
@@ -99,6 +109,12 @@ class ScanSession:
             RetryParameterCheck(config_check),
             notification_check,
             ResponseCheck(),
+            # The extended (taxonomy-driven) checks: registered here so
+            # `enabled_checks` can switch them on, absent from the default
+            # set so default-option output stays byte-identical.
+            UiThreadNetworkCheck(),
+            CallbackLeakCheck(),
+            OfflineCacheCheck(),
         ]
         scheduled = [
             ScheduledPass(check, resolve_reads(check.reads(opts)))
@@ -146,6 +162,9 @@ class ScanSession:
             scan_start = time.perf_counter()
             ctx = store.context
             ctx.summaries = store.get(SUMMARIES) if plan.builds(SUMMARIES) else None
+            ctx.threadcontext = (
+                store.get(THREADCONTEXT) if plan.builds(THREADCONTEXT) else None
+            )
             requests = store.get(REQUESTS)
             retry_loops = (
                 store.get(RETRY_LOOPS) if plan.builds(RETRY_LOOPS) else []

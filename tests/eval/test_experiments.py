@@ -23,6 +23,7 @@ class TestRegistry:
             "study",
             "table4",
             "table6",
+            "table6x",
             "table7",
             "table8",
             "fig8",

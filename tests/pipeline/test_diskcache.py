@@ -17,7 +17,7 @@ from repro.app.loader import dumps_apk, loads_apk
 from repro.callgraph.entrypoints import method_key
 from repro.cli import main
 from repro.core import NChecker
-from repro.core.checker import NCheckerOptions
+from repro.core.checker import DEFAULT_CHECKS, EXTENDED_CHECKS, NCheckerOptions
 from repro.core.patcher import Patcher
 from repro.corpus.snippets import Connectivity, Notification, RequestSpec
 from repro.ir.statements import NopStmt
@@ -388,6 +388,85 @@ class TestCLIByteIdentity:
         main(["scan", "--no-disk-cache", "--cache-dir", str(cache_dir), *app_files])
         capsys.readouterr()
         assert not cache_dir.exists()
+
+
+class TestExtendedChecksCache:
+    """The threadcontext artifact (built only for the extended checks)
+    rides the same persistent cache: one cold build per app, zero on any
+    warm re-scan, and byte-identical `--extended-checks` output."""
+
+    def scan_extended(self, cache_dir, apk=None):
+        options = NCheckerOptions(
+            cache_dir=str(cache_dir),
+            enabled_checks=DEFAULT_CHECKS | EXTENDED_CHECKS,
+        )
+        checker = NChecker(options=options)
+        session = checker.open_session(apk if apk is not None else fresh_apk())
+        return session.scan(), session
+
+    def test_warm_rescan_builds_zero_threadcontexts(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        r1, s1 = self.scan_extended(cache_dir)
+        assert s1.store.counters.builds_of("threadcontext") == 1
+
+        r2, s2 = self.scan_extended(cache_dir)
+        assert s2.store.counters.builds_of("threadcontext") == 0
+        assert (
+            s2.store.metrics.counter_value("cache.disk.threadcontext.hits") == 1
+        )
+        assert app_builds(s2) == dict.fromkeys(APP_KINDS, 0)
+        assert finding_sigs(r2) == finding_sigs(r1)
+
+    def test_default_scan_never_persists_threadcontext(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        scan_once(cache_dir)
+        entries = DiskCache(cache_dir)._entry_files()
+        assert entries
+        assert not [p for p in entries if p.name.startswith("threadcontext-")]
+
+    @pytest.fixture()
+    def lifecycle_files(self, tmp_path):
+        from repro.corpus.lifecycle import build_lifecycle_corpus
+
+        paths = []
+        for apk, _truth in build_lifecycle_corpus()[:4]:
+            path = tmp_path / f"{apk.package}.apkt"
+            save_apk(apk, path)
+            paths.append(str(path))
+        return paths
+
+    def test_cli_byte_identity(self, lifecycle_files, capsys):
+        def run(extra):
+            code = main(["scan", "--extended-checks", *extra, *lifecycle_files])
+            return code, capsys.readouterr().out
+
+        disabled = run(["--no-disk-cache"])
+        cold = run([])
+        warm = run([])
+        warm_jobs = run(["--jobs", "2"])
+        assert disabled == cold == warm == warm_jobs
+        assert "main (UI) thread" in disabled[1]
+
+    def test_cli_warm_run_has_zero_threadcontext_builds(
+        self, lifecycle_files, tmp_path, capsys
+    ):
+        warm_metrics = tmp_path / "warm.json"
+        main(["scan", "--extended-checks", *lifecycle_files])
+        main(
+            [
+                "scan",
+                "--extended-checks",
+                "--metrics",
+                str(warm_metrics),
+                *lifecycle_files,
+            ]
+        )
+        capsys.readouterr()
+        warm = json.loads(warm_metrics.read_text())["counters"]
+        assert warm.get("artifact.threadcontext.builds", 0) == 0
+        assert warm.get("cache.disk.threadcontext.hits", 0) == len(
+            lifecycle_files
+        )
 
 
 class TestCacheSubcommand:

@@ -64,7 +64,7 @@ class TestPlanning:
             "failure-notification",
             "invalid-response",
         )
-        assert plan.skipped == ("icc-model",)
+        assert plan.skipped == ("icc-model", "threadcontext")
 
     def test_retry_parameters_scheduled_after_config_apis(self):
         plan = self.plan()
