@@ -7,11 +7,13 @@ Three claims from the pipeline work, measured:
   *identical* results — the speedup is bounded by the core count, so the
   ≥2x assertion only applies on multi-core hosts (CI smoke runs may be
   single-core);
-* the persistent artifact cache (``--cache-dir``) makes a warm re-scan
-  perform **zero** app-scoped artifact builds with identical findings,
-  timed against both a cold and a cache-disabled sweep — including the
-  ``threadcontext`` artifact the extended checks add (timed and
-  asserted separately, since default scans never build it);
+* the persistent artifact cache (``--cache-dir`` / ``--cache-backend``)
+  makes a warm re-scan perform **zero** app-scoped artifact builds with
+  identical findings, timed against both a cold and a cache-disabled
+  sweep — including the ``threadcontext`` artifact the extended checks
+  add (timed and asserted separately, since default scans never build
+  it) — and the guarantee holds on every backend (``local``,
+  ``memory``, ``memory+local``), measured per backend;
 * the incremental patch loop rebuilds only the dirty region after each
   patch round — asserted via the public metrics snapshot
   (``artifact.cfg.builds`` / ``artifact.invalidated_methods``), not by
@@ -151,7 +153,7 @@ def test_disk_cache_cold_warm(benchmark, tmp_path):
         assert counters.get(f"artifact.{kind}.builds", 0) == 0, (
             f"warm run built {kind}"
         )
-    assert counters.get("cache.disk.callgraph.hits", 0) == n_apps
+    assert counters.get("cache.local.callgraph.hits", 0) == n_apps
     assert cold_snap["counters"]["artifact.callgraph.builds"] == n_apps
     print(
         f"\ndisk cache over {n_apps} apps: disabled {disabled_s*1000:.0f} ms, "
@@ -170,6 +172,86 @@ def test_disk_cache_cold_warm(benchmark, tmp_path):
         "counters": counters,
         "timings": _timing_fields(warm_snap),
     })
+
+
+def test_cache_backends_cold_warm(benchmark, tmp_path):
+    """Every cache backend gives a build-free warm re-scan with
+    identical findings; cold/warm wall times are recorded per backend
+    into the ``cache_backends`` section of ``BENCH_pipeline.json``."""
+    from repro.pipeline.cachestore import (
+        LocalDirBackend,
+        MemoryBackend,
+        TieredBackend,
+    )
+
+    n_apps = 8
+    apps = [apk for apk, _ in CorpusGenerator(PAPER_PROFILE.scaled(n_apps)).generate()]
+    blobs = [dumps_apk(apk) for apk in apps]
+    app_kinds = ("callgraph", "summaries", "requests", "retry-loops", "icc-model")
+    # (spec, backend, the tier a warm hit is served from) — the tiered
+    # chain serves warm hits from memory after the cold run's
+    # write-through.
+    backends = [
+        ("local", LocalDirBackend(tmp_path / "local-root"), "local"),
+        ("memory", MemoryBackend(), "memory"),
+        (
+            "memory+local",
+            TieredBackend(
+                [MemoryBackend(), LocalDirBackend(tmp_path / "tier-root")]
+            ),
+            "memory",
+        ),
+    ]
+
+    def sweep(backend):
+        options = NCheckerOptions(cache_backend=backend)
+        with use_metrics() as registry:
+            checker = NChecker(options=options)
+            results = [
+                checker.open_session(loads_apk(blob)).scan() for blob in blobs
+            ]
+            return results, registry.snapshot()
+
+    section = {}
+    baseline_sig = None
+    for spec, backend, serving in backends:
+        start = time.perf_counter()
+        cold_results, _cold_snap = sweep(backend)
+        cold_s = time.perf_counter() - start
+
+        if spec == backends[-1][0]:
+            warm_results, warm_snap = benchmark.pedantic(
+                sweep, args=(backend,), rounds=1, iterations=1
+            )
+            warm_s = benchmark.stats.stats.mean
+        else:
+            start = time.perf_counter()
+            warm_results, warm_snap = sweep(backend)
+            warm_s = time.perf_counter() - start
+
+        if baseline_sig is None:
+            baseline_sig = _scan_signature(cold_results)
+        assert baseline_sig == _scan_signature(cold_results), spec
+        assert baseline_sig == _scan_signature(warm_results), spec
+        counters = warm_snap["counters"]
+        for kind in app_kinds:
+            assert counters.get(f"artifact.{kind}.builds", 0) == 0, (
+                f"{spec}: warm run built {kind}"
+            )
+        assert counters.get(f"cache.{serving}.callgraph.hits", 0) == n_apps, spec
+        section[spec] = {
+            "cold_s": cold_s,
+            "warm_s": warm_s,
+            "warm_app_scoped_builds": 0,
+            "warm_hits_tier": serving,
+            "identical_results": True,
+        }
+        print(
+            f"\ncache backend {spec} over {n_apps} apps: "
+            f"cold {cold_s*1000:.0f} ms, warm {warm_s*1000:.0f} ms "
+            f"(warm hits from {serving})"
+        )
+    _record("cache_backends", {"n_apps": n_apps, "backends": section})
 
 
 def test_threadcontext_cache_warm(benchmark, tmp_path):
@@ -208,7 +290,7 @@ def test_threadcontext_cache_warm(benchmark, tmp_path):
     assert counters.get("artifact.threadcontext.builds", 0) == 0, (
         "warm re-scan rebuilt the threadcontext artifact"
     )
-    assert counters.get("cache.disk.threadcontext.hits", 0) == n_apps
+    assert counters.get("cache.local.threadcontext.hits", 0) == n_apps
     build_hist = cold_snap["histograms"].get("artifact.threadcontext.build_ms", {})
     build_total_ms = build_hist.get("total", 0.0)
     print(

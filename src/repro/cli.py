@@ -49,6 +49,28 @@ def _resolve_cache_dir(args: argparse.Namespace) -> str | None:
     return os.path.join(base, "nchecker")
 
 
+def _resolve_cache_backend(args: argparse.Namespace) -> str | None:
+    """The ``--cache-backend`` spec a command should use (``None`` falls
+    back to a plain local backend over the resolved cache dir);
+    ``--no-disk-cache`` disables every tier, spec or not.
+
+    A bad spec dies here, before any scanning starts, rather than as a
+    traceback out of session construction (or, worse, out of a ``--jobs``
+    worker)."""
+    if getattr(args, "no_disk_cache", False):
+        return None
+    spec = getattr(args, "cache_backend", None)
+    if spec is not None:
+        from .pipeline.cachestore import backend_from_spec
+
+        try:
+            backend_from_spec(spec, local_root=_resolve_cache_dir(args))
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            raise SystemExit(2)
+    return spec
+
+
 def _enabled_checks(args: argparse.Namespace) -> frozenset[str]:
     if getattr(args, "extended_checks", False):
         return DEFAULT_CHECKS | EXTENDED_CHECKS
@@ -61,6 +83,7 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         interprocedural_connectivity=not args.intraprocedural,
         summary_based=not args.no_summaries,
         cache_dir=_resolve_cache_dir(args),
+        cache_backend=_resolve_cache_backend(args),
         enabled_checks=_enabled_checks(args),
     )
     from .pipeline.batch import BatchScanner
@@ -220,7 +243,10 @@ def _cmd_patch(args: argparse.Namespace) -> int:
     if args.output and len(args.apps) > 1:
         args.parser.error("-o/--output requires exactly one input app")
     checker = NChecker(
-        options=NCheckerOptions(cache_dir=_resolve_cache_dir(args))
+        options=NCheckerOptions(
+            cache_dir=_resolve_cache_dir(args),
+            cache_backend=_resolve_cache_backend(args),
+        )
     )
     patcher = Patcher()
     exit_code = 0
@@ -326,11 +352,16 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
-    from .pipeline.diskcache import DiskCache, format_size, parse_size
+    from .pipeline.cachestore import backend_from_spec, format_size, parse_size
 
-    cache = DiskCache(_resolve_cache_dir(args))
+    spec = getattr(args, "cache_backend", None) or "local"
+    try:
+        backend = backend_from_spec(spec, local_root=_resolve_cache_dir(args))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.action == "stats":
-        print(cache.stats().render())
+        print(backend.stats().render())
         return 0
     if args.action == "gc":
         try:
@@ -338,12 +369,12 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        removed, freed = cache.gc(max_bytes)
+        removed, freed = backend.gc(max_bytes, grace_seconds=args.min_age)
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}, "
               f"freed {format_size(freed)}")
         return 0
     if args.action == "clear":
-        removed = cache.clear()
+        removed = backend.clear()
         print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
         return 0
     raise AssertionError(f"unknown cache action {args.action!r}")
@@ -395,6 +426,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", metavar="DIR",
         help="persistent artifact cache location (default: "
         "$NCHECKER_CACHE_DIR, else ~/.cache/nchecker)",
+    )
+    caching.add_argument(
+        "--cache-backend", metavar="SPEC",
+        help="cache backend composition: 'local', 'memory', or a "
+        "fastest-first '+' chain like 'memory+local' (tiers read "
+        "through with promotion and write through); 'local' may carry "
+        "a directory as 'local:DIR', otherwise it uses the resolved "
+        "--cache-dir. See docs/CACHING.md",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -557,7 +596,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     gc.add_argument(
         "--max-size", required=True, metavar="SIZE",
-        help="target cache size, e.g. 512M, 2G, or a byte count",
+        help="target cache size, e.g. 512M, 1.5G, or a byte count",
+    )
+    gc.add_argument(
+        "--min-age", type=float, default=60.0, metavar="SECONDS",
+        help="never evict entries written within the last SECONDS "
+        "(grace window protecting concurrent scanners; default 60)",
     )
     action.add_parser(
         "clear", help="delete every cache entry", parents=[common, caching]

@@ -84,13 +84,23 @@ class NCheckerOptions:
     #: paper's two FP classes.
     inter_component: bool = False
     #: Root directory of the persistent cross-run artifact cache
-    #: (:mod:`repro.pipeline.diskcache`).  ``None`` — the library default —
+    #: (:mod:`repro.pipeline.cachestore`) — the one-directory shorthand
+    #: for a plain local backend.  ``None`` — the library default —
     #: keeps every artifact in-memory only; the CLI resolves this to
     #: ``$NCHECKER_CACHE_DIR`` or ``~/.cache/nchecker`` unless
     #: ``--no-disk-cache`` is given.  Cached artifacts are keyed by app
     #: content, so the flag can never change scan output — only where the
     #: artifacts come from.
     cache_dir: Optional[str] = None
+    #: Which cache backend composition to use: a spec string
+    #: (``"local"``, ``"memory"``, ``"memory+local"``,
+    #: ``"local:/some/dir"`` — grammar in
+    #: :mod:`repro.pipeline.cachestore.store`) or a live
+    #: :class:`~repro.pipeline.cachestore.backend.CacheBackend` instance
+    #: for library embedding.  Wins over ``cache_dir`` when set; a
+    #: pathless ``local`` tier takes its directory from ``cache_dir``.
+    #: Like ``cache_dir``, this can never change scan output.
+    cache_backend: Optional[object] = None
     enabled_checks: frozenset[str] = DEFAULT_CHECKS
 
 

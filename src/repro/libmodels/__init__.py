@@ -72,7 +72,7 @@ NATIVE_LIBRARY_KEYS = frozenset({"httpurlconnection", "apache"})
 
 #: Version of the library annotation models.  Bump whenever any model's
 #: annotations change (target/config/response APIs, callbacks, defaults):
-#: the persistent artifact cache (`repro.pipeline.diskcache`) folds this
+#: the persistent artifact cache (`repro.pipeline.cachestore`) folds this
 #: into every cache key, so stale artifacts derived under older
 #: annotations are invalidated instead of silently reused.
 LIBMODELS_VERSION = 2  # v2: callbacks_on_main_thread on LibraryModel

@@ -9,7 +9,12 @@ scanning, incremental re-scan.
   the session cache behind ``NChecker``;
 * :mod:`repro.pipeline.batch` — the parallel batch scanner
   (``nchecker scan --jobs N``) with deterministic, input-order-stable
-  output.
+  output;
+* :mod:`repro.pipeline.cachestore` — the persistent cross-run cache as
+  a layered subsystem: content addressing, codec, and the pluggable
+  ``CacheBackend`` protocol (local / memory / tiered) behind
+  ``--cache-backend`` (``repro.pipeline.diskcache`` is its thin
+  compatibility facade).
 """
 
 from .artifacts import (
@@ -25,11 +30,23 @@ from .artifacts import (
     ArtifactKey,
     ArtifactStore,
 )
+from .cachestore import (
+    CacheBackend,
+    CacheStore,
+    LocalDirBackend,
+    MemoryBackend,
+    TieredBackend,
+)
 from .passes import ScanPlan, ScheduledPass, build_plan, order_passes, resolve_reads
 from .scan import ScanSession, SessionCache
 
 __all__ = [
     "ARTIFACTS",
+    "CacheBackend",
+    "CacheStore",
+    "LocalDirBackend",
+    "MemoryBackend",
+    "TieredBackend",
     "ArtifactCounters",
     "ArtifactKey",
     "ArtifactStore",

@@ -1,0 +1,105 @@
+"""The in-process backend — for tests, library embedding, and the fast
+tier of a tiered composition.
+
+Entries live in one dict; atomic publication is a single dict
+assignment under the GIL, so the conformance contract holds trivially.
+A :class:`MemoryBackend` is process-local by construction: ``--jobs``
+workers each resolve their own (documented in ``docs/CACHING.md``), so
+its value in a multi-process run comes from fronting a shared persistent
+tier (``memory+local``), not from cross-process sharing.
+
+The ``memory`` *spec tier* (``--cache-backend memory`` or
+``memory+local``) resolves to one process-wide shared instance
+(:func:`shared_memory_backend`), so every session in a process —
+repeat CLI invocations in tests, a long-lived ``nchecker serve`` worker
+tomorrow — sees the same entries.  Direct construction gives a private
+store.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from .backend import (
+    GC_GRACE_SECONDS,
+    CacheStats,
+    EntryInfo,
+    EntryKey,
+    GetResult,
+    stats_from_entries,
+)
+
+
+class MemoryBackend:
+    """Content-addressed blob store over a process-local dict."""
+
+    def __init__(self, name: str = "memory") -> None:
+        self.name = name
+        #: key -> (blob, write time) — write time drives gc LRU order
+        #: and the eviction grace window, mirroring file mtimes.
+        self._entries: dict[EntryKey, tuple[bytes, float]] = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemoryBackend(entries={len(self._entries)})"
+
+    def get(self, key: EntryKey) -> Optional[GetResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        return GetResult(entry[0], self.name)
+
+    def put(self, key: EntryKey, blob: bytes) -> tuple[str, ...]:
+        self._entries[key] = (bytes(blob), time.time())
+        return (self.name,)
+
+    def delete(self, key: EntryKey) -> int:
+        return 1 if self._entries.pop(key, None) is not None else 0
+
+    def list_entries(self) -> list[EntryInfo]:
+        return [
+            EntryInfo(key, len(blob), mtime, self.name)
+            for key, (blob, mtime) in sorted(
+                self._entries.items(),
+                key=lambda item: (item[0].app_fp, item[0].kind, item[0].digest),
+            )
+        ]
+
+    def stats(self) -> CacheStats:
+        return stats_from_entries(self.name, self.list_entries())
+
+    def gc(
+        self, max_bytes: int, grace_seconds: float = GC_GRACE_SECONDS
+    ) -> tuple[int, int]:
+        total = sum(len(blob) for blob, _t in self._entries.values())
+        fresh_after = time.time() - grace_seconds
+        removed = 0
+        freed = 0
+        for key, (blob, mtime) in sorted(
+            self._entries.items(), key=lambda item: item[1][1]
+        ):  # oldest first
+            if total <= max_bytes:
+                break
+            if mtime > fresh_after:
+                continue  # grace window: never evict an in-flight entry
+            del self._entries[key]
+            total -= len(blob)
+            freed += len(blob)
+            removed += 1
+        return removed, freed
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+
+#: The instance ``--cache-backend`` specs resolve the ``memory`` tier to
+#: — one per process, shared across sessions (see module docstring).
+_SHARED = MemoryBackend()
+
+
+def shared_memory_backend() -> MemoryBackend:
+    """The process-wide shared :class:`MemoryBackend` behind the
+    ``memory`` spec tier."""
+    return _SHARED

@@ -1,0 +1,113 @@
+"""Read-through / write-through tier composition.
+
+``TieredBackend([fast, ..., slow])`` chains backends fastest-first:
+
+* **get** asks each tier in order and serves the first hit; the blob is
+  then *promoted* — copied into every faster tier — so the next read in
+  this process (or, for ``local`` over a future remote tier, on this
+  host) is served closer.  The :class:`~repro.pipeline.cachestore.
+  backend.GetResult` reports the serving tier and the promoted tiers,
+  which the session turns into per-tier hit/promotion counters.
+* **put** writes through to *every* tier, so a freshly built artifact
+  is immediately visible at all levels and a fleet sharing the slow
+  tier amortizes the build.
+* **delete** drops every copy — essential for corruption handling,
+  where a bad blob may already have been promoted before the codec
+  rejected it.
+
+Composition today is ``memory`` over ``local``; the seam is exactly
+what a ``local`` over HTTP/S3-style *remote* tier needs tomorrow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .backend import (
+    GC_GRACE_SECONDS,
+    CacheBackend,
+    CacheStats,
+    EntryInfo,
+    EntryKey,
+    GetResult,
+)
+
+
+class TieredBackend:
+    """Compose backends fastest-first with promotion and write-through."""
+
+    def __init__(self, tiers: Sequence[CacheBackend]) -> None:
+        if not tiers:
+            raise ValueError("TieredBackend needs at least one tier")
+        names = [tier.name for tier in tiers]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"tier names must be distinct for attribution, got {names}"
+            )
+        self.tiers = tuple(tiers)
+        self.name = "+".join(names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TieredBackend({self.name})"
+
+    def get(self, key: EntryKey) -> Optional[GetResult]:
+        for index, tier in enumerate(self.tiers):
+            result = tier.get(key)
+            if result is None:
+                continue
+            promoted = tuple(
+                name
+                for faster in self.tiers[:index]
+                for name in faster.put(key, result.blob)
+            )
+            return GetResult(result.blob, result.tier, promoted + result.promoted)
+        return None
+
+    def put(self, key: EntryKey, blob: bytes) -> tuple[str, ...]:
+        return tuple(
+            name for tier in self.tiers for name in tier.put(key, blob)
+        )
+
+    def delete(self, key: EntryKey) -> int:
+        return sum(tier.delete(key) for tier in self.tiers)
+
+    def list_entries(self) -> list[EntryInfo]:
+        return [info for tier in self.tiers for info in tier.list_entries()]
+
+    def stats(self) -> CacheStats:
+        sections = [tier.stats() for tier in self.tiers]
+        return CacheStats(
+            self.name,
+            apps=max((s.apps for s in sections), default=0),
+            entries=sum(s.entries for s in sections),
+            total_bytes=sum(s.total_bytes for s in sections),
+            by_kind=_merge_kinds(sections),
+            tiers=sections,
+        )
+
+    def gc(
+        self, max_bytes: int, grace_seconds: float = GC_GRACE_SECONDS
+    ) -> tuple[int, int]:
+        """Apply the budget to each tier independently (a small fast tier
+        in front of a large slow one is the point of the composition)."""
+        removed = 0
+        freed = 0
+        for tier in self.tiers:
+            tier_removed, tier_freed = tier.gc(max_bytes, grace_seconds)
+            removed += tier_removed
+            freed += tier_freed
+        return removed, freed
+
+    def clear(self) -> int:
+        return sum(tier.clear() for tier in self.tiers)
+
+
+def _merge_kinds(
+    sections: Sequence[CacheStats],
+) -> dict[str, tuple[int, int]]:
+    merged: dict[str, tuple[int, int]] = {}
+    for section in sections:
+        for kind, (count, size) in section.by_kind.items():
+            have_count, have_size = merged.get(kind, (0, 0))
+            merged[kind] = (have_count + count, have_size + size)
+    return merged

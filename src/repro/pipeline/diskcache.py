@@ -1,554 +1,98 @@
-"""Persistent cross-run artifact cache (``--cache-dir`` / ``nchecker cache``).
+"""Compatibility facade over :mod:`repro.pipeline.cachestore`.
 
-The :class:`~repro.pipeline.artifacts.ArtifactStore` amortizes analysis
-work *within* one process: repeat scans of an unchanged app reuse the
-call graph, summaries, requests, retry loops, and ICC model.  The paper's
-evaluation, however, scans the same 285 apps over and over across many
-``nchecker`` invocations (corpus re-runs, patch loops, CI), and every new
-process used to start from zero.  This module extends the store across
-processes: app-scoped artifacts are serialized to a content-addressed
-on-disk store and loaded back at session start, so an unchanged app
-re-scans with **zero artifact builds** and a patched app rebuilds only
-the invalidation cone the store already computes.
+The monolithic disk cache this module used to implement was split into
+the layered cache-store subsystem: content addressing lives in
+:mod:`repro.pipeline.cachestore.fingerprints`, serialization in
+:mod:`repro.pipeline.cachestore.codec`, storage behind the
+:class:`~repro.pipeline.cachestore.backend.CacheBackend` protocol
+(local / memory / tiered implementations), and the session-facing glue
+in :class:`~repro.pipeline.cachestore.store.CacheStore`.
 
-Key derivation
---------------
-Every entry is keyed by a fingerprint folding together
-
-* the **app content**: a hash per method of its printed IR (the same text
-  ``dumps_apk`` round-trips) plus the manifest's components and
-  permissions — any statement, method, or component change misses;
-* the **library-model version** (:data:`repro.libmodels.
-  LIBMODELS_VERSION`) and the registered library keys — re-annotating a
-  library invalidates everything derived under the old annotations;
-* the **cache format version** — unpicklable layout changes miss instead
-  of crashing;
-* the declared :data:`NCheckerOptions <repro.core.checker.
-  NCheckerOptions>` subset read by the artifact's builder
-  (:data:`OPTIONS_READ_BY`).  Today every builder is options-independent
-  (options select *which* artifacts build, never their content), so
-  artifacts are shared across flag combinations; an option-sensitive
-  builder added later declares its fields here and splits its entries.
-
-Serialization
--------------
-Artifacts reference live analysis objects — the APK, its methods, the
-library registry, the store itself, and each other (the summary engine
-holds the call graph).  A :class:`pickle.Pickler` subclass swaps each of
-these for a stable *persistent id* (``("method", key)``,
-``("artifact", "callgraph")``, ...) at dump time; loading resolves the
-ids against the live session, so a cached summary engine comes back
-wired to the freshly loaded APK's method objects and to whatever call
-graph the store holds.  Everything else in an artifact is plain frozen
-dataclasses and containers, pickled by value.
-
-Failure policy
---------------
-The cache is strictly best-effort: a corrupted, truncated, or
-version-mismatched entry is a **miss** (logged at ``-v``), never a
-crash — the artifact rebuilds and the bad entry is overwritten.  Writes
-go through a temp file plus :func:`os.replace`, so parallel workers
-(``--jobs``) sharing one cache directory race benignly: readers see
-either the old or the new complete entry, never a torn one.
-
-Telemetry: ``cache.disk.<kind>.hits`` / ``.misses`` counters and
-``cache.disk.<kind>.load_ms`` / ``.store_ms`` timers land in the store's
-registry (and the active global one), riding the same snapshot/merge
-protocol as every other counter — ``--metrics`` of a ``--jobs N`` run
-sums them across workers.
-
-See ``docs/CACHING.md`` for the user-facing guide and
-``nchecker cache stats|gc|clear`` for the management commands.
+:class:`DiskCache` survives here as a thin facade — a ``CacheStore``
+pinned to a :class:`~repro.pipeline.cachestore.local.LocalDirBackend`
+with the pre-split management API (``stats``/``gc``/``clear``) — for
+code and docs that still say "the disk cache".  New code should use
+``cachestore`` directly; see ``docs/CACHING.md``.
 """
 
 from __future__ import annotations
 
-import hashlib
-import io
-import os
-import pickle
-import struct
-import tempfile
-import time
-from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
-from ..callgraph.entrypoints import method_key
-from ..dataflow.summaries import CONFIG_TOP
-from ..ir.method import IRMethod
-from ..ir.printer import print_method
-from ..libmodels import LIBMODELS_VERSION
-from ..libmodels.annotations import LibraryModel
-from ..obs import get_logger
-from .artifacts import ARTIFACTS, ArtifactStore
-from .passes import _APP_ARTIFACT_ORDER
+from .cachestore import (
+    CACHE_FORMAT_VERSION,
+    OPTIONS_READ_BY,
+    CacheMiss,
+    CacheStats,
+    CacheStore,
+    LocalDirBackend,
+    app_content_fingerprint,
+    entry_digest,
+    format_size,
+    method_content_hash,
+    options_fingerprint,
+    parse_size,
+    registry_fingerprint,
+)
+from .cachestore.backend import GC_GRACE_SECONDS, EntryKey
 
 if TYPE_CHECKING:
-    from ..app.apk import APK
     from ..core.checker import NCheckerOptions
 
-log = get_logger("diskcache")
-
-#: Bump on any change to the entry layout or the pickled object shapes
-#: that older readers/writers cannot handle; old entries then miss (and
-#: are garbage-collected by ``nchecker cache gc``) instead of crashing.
-CACHE_FORMAT_VERSION = 1
-
-#: Entry header: magic, format version, blake2b-128 digest of the payload.
-_MAGIC = b"NCKC"
-_HEADER = struct.Struct(">4sI16s")
-
-#: NCheckerOptions fields folded into each artifact kind's cache key —
-#: the options subset the artifact's builder reads.  All empty today:
-#: options decide which artifacts a scan plan *builds*, never what any
-#: artifact *contains*, so entries are shared across flag combinations.
-#: A future option-sensitive builder declares its fields here.
-OPTIONS_READ_BY: dict[str, tuple[str, ...]] = {
-    "callgraph": (),
-    "summaries": (),
-    "requests": (),
-    "retry-loops": (),
-    "icc-model": (),
-    "threadcontext": (),
-}
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "OPTIONS_READ_BY",
+    "CacheMiss",
+    "CacheStats",
+    "DiskCache",
+    "app_content_fingerprint",
+    "entry_digest",
+    "format_size",
+    "method_content_hash",
+    "options_fingerprint",
+    "parse_size",
+    "registry_fingerprint",
+]
 
 
-class CacheMiss(Exception):
-    """An entry could not be used (absent dependency, unknown reference,
-    corruption, version mismatch) — always handled as a rebuild."""
-
-
-# ---------------------------------------------------------------------------
-# Fingerprints
-# ---------------------------------------------------------------------------
-
-
-def method_content_hash(method: IRMethod) -> bytes:
-    """Digest of one method's printed IR — the per-method unit of the app
-    fingerprint (a patched method changes exactly its own hash)."""
-    return hashlib.blake2b(
-        print_method(method).encode(), digest_size=16
-    ).digest()
-
-
-def app_content_fingerprint(apk: "APK") -> str:
-    """Content address of one app: package, manifest surface, and every
-    method's IR hash, order-independent over class file layout."""
-    h = hashlib.blake2b(digest_size=20)
-    h.update(apk.package.encode())
-    for permission in apk.manifest.permissions:
-        h.update(b"\0perm\0" + permission.encode())
-    for kind, name in apk.manifest.components():
-        h.update(b"\0comp\0" + kind.value.encode() + b"\0" + name.encode())
-    entries = sorted(
-        (repr(method_key(m)).encode(), method_content_hash(m))
-        for m in apk.methods()
-    )
-    for key_repr, digest in entries:
-        h.update(b"\0m\0" + key_repr + digest)
-    return h.hexdigest()
-
-
-def registry_fingerprint(registry) -> str:
-    """Annotation-model component of the cache key: the model version plus
-    the set of registered libraries (default vs extended registry)."""
-    keys = ",".join(sorted(registry.libraries))
-    return f"v{LIBMODELS_VERSION}:{keys}"
-
-
-def options_fingerprint(kind: str, options: "NCheckerOptions") -> str:
-    """The declared options subset for ``kind``, rendered stably."""
-    fields = OPTIONS_READ_BY.get(kind, ())
-    return ";".join(f"{f}={getattr(options, f)!r}" for f in fields)
-
-
-def entry_digest(
-    kind: str, app_fp: str, registry, options: "NCheckerOptions"
-) -> str:
-    """The file-name digest of one (app, artifact-kind, options) entry."""
-    h = hashlib.blake2b(digest_size=16)
-    h.update(app_fp.encode())
-    h.update(b"\0" + registry_fingerprint(registry).encode())
-    h.update(b"\0" + options_fingerprint(kind, options).encode())
-    return h.hexdigest()
-
-
-def parse_size(text: str) -> int:
-    """``"512M"`` / ``"2G"`` / ``"4096"`` → bytes (for ``gc --max-size``)."""
-    text = text.strip()
-    units = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
-    multiplier = 1
-    if text and text[-1].upper() in units:
-        multiplier = units[text[-1].upper()]
-        text = text[:-1]
-    try:
-        value = float(text)
-    except ValueError:
-        raise ValueError(f"unparsable size: {text!r} (use e.g. 512M, 2G)")
-    if value < 0:
-        raise ValueError("size must be non-negative")
-    return int(value * multiplier)
-
-
-def format_size(n: int) -> str:
-    for unit, width in (("G", 1 << 30), ("M", 1 << 20), ("K", 1 << 10)):
-        if n >= width:
-            return f"{n / width:.1f}{unit}"
-    return f"{n}B"
-
-
-# ---------------------------------------------------------------------------
-# Persistent-id pickling
-# ---------------------------------------------------------------------------
-
-
-class _ArtifactPickler(pickle.Pickler):
-    """Pickles one artifact, swapping live session objects for stable ids.
-
-    ``artifact_ids`` maps ``id(value) -> kind`` for the *other* app-scoped
-    artifacts in the store, so cross-artifact references (the summary
-    engine's call graph) serialize as one tag instead of a duplicate
-    object graph.
-    """
-
-    def __init__(self, buf, store: ArtifactStore, artifact_ids: dict[int, str]):
-        super().__init__(buf, protocol=pickle.HIGHEST_PROTOCOL)
-        self._store = store
-        self._artifact_ids = artifact_ids
-
-    def persistent_id(self, obj):
-        name = self._artifact_ids.get(id(obj))
-        if name is not None:
-            return ("artifact", name)
-        if obj is self._store:
-            return ("store",)
-        if obj is self._store.apk:
-            return ("apk",)
-        if obj is self._store.registry:
-            return ("registry",)
-        if obj is CONFIG_TOP:
-            return ("config-top",)
-        if isinstance(obj, IRMethod):
-            return ("method", method_key(obj))
-        if isinstance(obj, LibraryModel):
-            return ("libmodel", obj.key)
-        return None
-
-
-class _ArtifactUnpickler(pickle.Unpickler):
-    """Resolves persistent ids against the live session.
-
-    An ``("artifact", kind)`` reference resolves through
-    :meth:`ArtifactStore.get` — if the referenced dependency was not
-    itself loadable it is built (an honest build, counted as such) so a
-    valid dependent entry is never wasted.  Unknown method or library
-    references raise :class:`CacheMiss` (they cannot occur when the
-    fingerprint matched, but corruption must degrade to a rebuild).
-    """
-
-    def __init__(self, buf, store: ArtifactStore, methods: dict):
-        super().__init__(buf)
-        self._store = store
-        self._methods = methods
-
-    def persistent_load(self, pid):
-        tag = pid[0]
-        if tag == "artifact":
-            return self._store.get(ARTIFACTS[pid[1]])
-        if tag == "store":
-            return self._store
-        if tag == "apk":
-            return self._store.apk
-        if tag == "registry":
-            return self._store.registry
-        if tag == "config-top":
-            return CONFIG_TOP
-        if tag == "method":
-            found = self._methods.get(pid[1])
-            if found is None:
-                raise CacheMiss(f"unknown method reference {pid[1]!r}")
-            return found
-        if tag == "libmodel":
-            found = self._store.registry.libraries.get(pid[1])
-            if found is None:
-                raise CacheMiss(f"unknown library reference {pid[1]!r}")
-            return found
-        raise CacheMiss(f"unknown persistent id {pid!r}")
-
-
-# ---------------------------------------------------------------------------
-# The cache
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class CacheStats:
-    """What ``nchecker cache stats`` prints."""
-
-    root: Path
-    apps: int
-    entries: int
-    total_bytes: int
-    #: kind -> (entry count, bytes)
-    by_kind: dict[str, tuple[int, int]]
-
-    def render(self) -> str:
-        lines = [f"cache {self.root}"]
-        lines.append(
-            f"  {self.entries} entr{'y' if self.entries == 1 else 'ies'} "
-            f"for {self.apps} app(s), {format_size(self.total_bytes)}"
-        )
-        for kind in sorted(self.by_kind):
-            count, size = self.by_kind[kind]
-            lines.append(f"  {kind:<12} {count:>5}  {format_size(size)}")
-        return "\n".join(lines)
-
-
-class DiskCache:
-    """The on-disk artifact store behind ``--cache-dir``.
-
-    Layout: ``<root>/v<FORMAT>/<app_fp[:2]>/<app_fp>/<kind>-<digest>.bin``
-    — one directory per app fingerprint (the per-APK cache files that
-    ``--jobs`` workers share), one entry file per artifact kind and
-    declared-options subset.
-    """
+class DiskCache(CacheStore):
+    """The pre-split API: one local directory, management methods on the
+    cache object itself."""
 
     def __init__(self, root: str | Path) -> None:
-        self.root = Path(root).expanduser()
+        super().__init__(LocalDirBackend(root))
+        self.root = self.backend.root
 
     @classmethod
     def from_options(cls, options: "NCheckerOptions") -> Optional["DiskCache"]:
-        """The cache the options ask for, or ``None`` when disabled."""
+        """The local cache ``options.cache_dir`` asks for, or ``None``
+        (``cache_backend`` is the general form; use
+        :meth:`CacheStore.from_options` for it)."""
         cache_dir = getattr(options, "cache_dir", None)
         return cls(cache_dir) if cache_dir else None
 
-    # -- paths ---------------------------------------------------------------
-
-    @property
-    def _version_root(self) -> Path:
-        return self.root / f"v{CACHE_FORMAT_VERSION}"
+    # -- pre-split management API --------------------------------------------
 
     def app_dir(self, app_fp: str) -> Path:
-        return self._version_root / app_fp[:2] / app_fp
+        return self.backend.app_dir(app_fp)
 
     def entry_path(
         self, app_fp: str, kind: str, registry, options: "NCheckerOptions"
     ) -> Path:
         digest = entry_digest(kind, app_fp, registry, options)
-        return self.app_dir(app_fp) / f"{kind}-{digest}.bin"
-
-    # -- session API ---------------------------------------------------------
-
-    def load_into(
-        self, store: ArtifactStore, app_fp: str, options: "NCheckerOptions"
-    ) -> set[str]:
-        """Adopt every valid cached artifact for ``store``'s app, in
-        dependency order; returns the kinds loaded.
-
-        Kinds already present in the store are left alone.  Invalid
-        entries (truncated, corrupt, wrong version, dangling references)
-        are deleted and treated as misses — the caller rebuilds on demand
-        and :meth:`store_from` overwrites them.
-        """
-        loaded: set[str] = set()
-        methods: Optional[dict] = None
-        for key in _APP_ARTIFACT_ORDER:
-            if store.peek(key) is not None:
-                continue
-            path = self.entry_path(app_fp, key.name, store.registry, options)
-            try:
-                data = path.read_bytes()
-            except FileNotFoundError:
-                continue
-            except OSError as exc:
-                log.debug("cache read failed for %s: %s", path, exc)
-                continue
-            if methods is None:
-                methods = {method_key(m): m for m in store.apk.methods()}
-            start = time.perf_counter()
-            try:
-                value = self._decode(data, store, methods)
-            except CacheMiss as exc:
-                log.info("cache entry %s unusable (%s): rebuilding", path, exc)
-                store._count(f"cache.disk.{key.name}.misses")
-                store._count("cache.disk.errors")
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-                continue
-            store.adopt(key, value)
-            store._count(f"cache.disk.{key.name}.hits")
-            store._observe(
-                f"cache.disk.{key.name}.load_ms",
-                (time.perf_counter() - start) * 1000.0,
-            )
-            if key.name == "callgraph":
-                # Parity with _build_callgraph's gauges, so --stats reads
-                # the same whether the graph was built or loaded.
-                store._global.set_gauge("callgraph.methods", len(value.methods))
-                store._global.set_gauge(
-                    "callgraph.edges",
-                    sum(len(edges) for edges in value.out_edges.values()),
-                )
-            loaded.add(key.name)
-        return loaded
-
-    def store_from(
-        self,
-        store: ArtifactStore,
-        app_fp: str,
-        options: "NCheckerOptions",
-        exclude: set[str] = frozenset(),
-    ) -> set[str]:
-        """Persist the store's built app-scoped artifacts (everything
-        present and not in ``exclude`` — the kinds already synced with
-        this fingerprint); returns the kinds written.
-
-        Every write is counted as a ``cache.disk.<kind>.misses`` — the
-        cache could not supply the artifact, so the scan built it.
-        """
-        present = {
-            key.name: store.peek(key)
-            for key in _APP_ARTIFACT_ORDER
-            if store.peek(key) is not None
-        }
-        artifact_ids = {id(value): name for name, value in present.items()}
-        written: set[str] = set()
-        for key in _APP_ARTIFACT_ORDER:
-            value = present.get(key.name)
-            if value is None or key.name in exclude:
-                continue
-            path = self.entry_path(app_fp, key.name, store.registry, options)
-            ids = dict(artifact_ids)
-            del ids[id(value)]  # the dumped artifact itself is no reference
-            start = time.perf_counter()
-            try:
-                self._write_entry(path, store, value, ids)
-            except (OSError, pickle.PicklingError) as exc:
-                log.warning("cannot write cache entry %s: %s", path, exc)
-                continue
-            store._count(f"cache.disk.{key.name}.misses")
-            store._observe(
-                f"cache.disk.{key.name}.store_ms",
-                (time.perf_counter() - start) * 1000.0,
-            )
-            written.add(key.name)
-        return written
-
-    # -- entry encoding ------------------------------------------------------
-
-    def _decode(self, data: bytes, store: ArtifactStore, methods: dict):
-        if len(data) < _HEADER.size:
-            raise CacheMiss("truncated header")
-        magic, version, digest = _HEADER.unpack_from(data)
-        if magic != _MAGIC:
-            raise CacheMiss("bad magic")
-        if version != CACHE_FORMAT_VERSION:
-            raise CacheMiss(
-                f"format version {version} != {CACHE_FORMAT_VERSION}"
-            )
-        payload = data[_HEADER.size:]
-        if hashlib.blake2b(payload, digest_size=16).digest() != digest:
-            raise CacheMiss("payload checksum mismatch")
-        try:
-            return _ArtifactUnpickler(io.BytesIO(payload), store, methods).load()
-        except CacheMiss:
-            raise
-        except Exception as exc:  # any unpickling failure is just a miss
-            raise CacheMiss(f"unpickle failed: {exc!r}")
-
-    def _write_entry(
-        self, path: Path, store: ArtifactStore, value, artifact_ids: dict
-    ) -> None:
-        buf = io.BytesIO()
-        _ArtifactPickler(buf, store, artifact_ids).dump(value)
-        payload = buf.getvalue()
-        blob = _HEADER.pack(
-            _MAGIC,
-            CACHE_FORMAT_VERSION,
-            hashlib.blake2b(payload, digest_size=16).digest(),
-        ) + payload
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                handle.write(blob)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
-
-    # -- management (``nchecker cache``) -------------------------------------
+        return self.backend.entry_path(EntryKey(app_fp, kind, digest))
 
     def _entry_files(self) -> list[Path]:
-        if not self.root.is_dir():
-            return []
-        return sorted(
-            p for p in self.root.glob("v*/??/*/*.bin") if p.is_file()
-        )
+        return self.backend._entry_files()
 
     def stats(self) -> CacheStats:
-        by_kind: dict[str, tuple[int, int]] = {}
-        apps: set[str] = set()
-        total = 0
-        entries = 0
-        for path in self._entry_files():
-            kind = path.name.rsplit("-", 1)[0]
-            size = path.stat().st_size
-            count, kind_bytes = by_kind.get(kind, (0, 0))
-            by_kind[kind] = (count + 1, kind_bytes + size)
-            apps.add(path.parent.name)
-            total += size
-            entries += 1
-        return CacheStats(self.root, len(apps), entries, total, by_kind)
+        return self.backend.stats()
 
-    def gc(self, max_bytes: int) -> tuple[int, int]:
-        """Drop least-recently-used entries until the cache fits
-        ``max_bytes``; returns ``(entries removed, bytes freed)``."""
-        files = [(p, p.stat()) for p in self._entry_files()]
-        total = sum(st.st_size for _p, st in files)
-        files.sort(key=lambda pair: pair[1].st_mtime)  # oldest first
-        removed = 0
-        freed = 0
-        for path, st in files:
-            if total <= max_bytes:
-                break
-            try:
-                path.unlink()
-            except OSError:
-                continue
-            total -= st.st_size
-            freed += st.st_size
-            removed += 1
-        self._prune_empty_dirs()
-        return removed, freed
+    def gc(
+        self, max_bytes: int, grace_seconds: float = GC_GRACE_SECONDS
+    ) -> tuple[int, int]:
+        return self.backend.gc(max_bytes, grace_seconds)
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
-        removed = 0
-        for path in self._entry_files():
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                continue
-        self._prune_empty_dirs()
-        return removed
-
-    def _prune_empty_dirs(self) -> None:
-        if not self.root.is_dir():
-            return
-        for directory in sorted(
-            (p for p in self.root.glob("v*/**/") if p.is_dir()),
-            key=lambda p: len(p.parts),
-            reverse=True,
-        ):
-            try:
-                directory.rmdir()  # fails (correctly) unless empty
-            except OSError:
-                pass
+        return self.backend.clear()

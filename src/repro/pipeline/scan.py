@@ -17,12 +17,14 @@ fingerprint, LRU-bounded for corpus sweeps) — the successor of the old
 per-APK ``SummaryCache``.
 
 Sessions are also where the **persistent cross-run cache**
-(:mod:`repro.pipeline.diskcache`, ``NCheckerOptions.cache_dir``) plugs
-in: before the first pass runs, every valid on-disk artifact for the
-app's content fingerprint is adopted into the store (zero builds on a
-warm run), and after each scan the artifacts the run had to build are
-written back.  Output is byte-identical with the cache hot, cold, or
-disabled — the cache only changes where artifacts come from.
+(:mod:`repro.pipeline.cachestore`, ``NCheckerOptions.cache_backend`` /
+``cache_dir``) plugs in: before the first pass runs, every valid cached
+artifact for the app's content fingerprint is adopted into the store
+(zero builds on a warm run), and after each scan the artifacts the run
+had to build are written back through whatever backend the options
+selected (local directory, in-memory, or a tier chain).  Output is
+byte-identical with the cache hot, cold, or disabled, on every
+backend — the cache only changes where artifacts come from.
 """
 
 from __future__ import annotations
@@ -62,15 +64,22 @@ class ScanSession:
         self.registry = registry
         self.options = options
         self.store = ArtifactStore(apk, registry)
-        from .diskcache import DiskCache
+        from .cachestore import CacheStore
 
-        #: Persistent cross-run cache, or ``None`` (options.cache_dir unset).
-        self.disk_cache = DiskCache.from_options(options)
-        #: ``(app_fingerprint, kind)`` pairs already on disk — loaded from
-        #: or written there by this session — so repeat scans rewrite
-        #: nothing and a patch round persists only the rebuilt cone.
-        self._disk_synced: set[tuple[str, str]] = set()
+        #: Persistent cross-run cache, or ``None`` (no ``cache_backend``
+        #: and no ``cache_dir`` in the options).
+        self.artifact_cache = CacheStore.from_options(options)
+        #: ``(app_fingerprint, kind)`` pairs already persisted — loaded
+        #: from or written to the backend by this session — so repeat
+        #: scans rewrite nothing and a patch round persists only the
+        #: rebuilt cone.
+        self._cache_synced: set[tuple[str, str]] = set()
         self._app_fp: Optional[str] = None
+
+    @property
+    def disk_cache(self):
+        """Pre-split alias for :attr:`artifact_cache`."""
+        return self.artifact_cache
 
     # -- pass construction ---------------------------------------------------
 
@@ -210,27 +219,27 @@ class ScanSession:
         (the patcher's in-place mutations go through
         :meth:`invalidate_methods`, which drops the memo)."""
         if self._app_fp is None:
-            from .diskcache import app_content_fingerprint
+            from .cachestore import app_content_fingerprint
 
             self._app_fp = app_content_fingerprint(self.apk)
         return self._app_fp
 
     def _preload_from_disk(self) -> None:
-        if self.disk_cache is None:
+        if self.artifact_cache is None:
             return
         fp = self._content_fingerprint()
-        loaded = self.disk_cache.load_into(self.store, fp, self.options)
-        self._disk_synced.update((fp, kind) for kind in loaded)
+        loaded = self.artifact_cache.load_into(self.store, fp, self.options)
+        self._cache_synced.update((fp, kind) for kind in loaded)
 
     def _persist_to_disk(self) -> None:
-        if self.disk_cache is None:
+        if self.artifact_cache is None:
             return
         fp = self._content_fingerprint()
-        synced = {kind for f, kind in self._disk_synced if f == fp}
-        written = self.disk_cache.store_from(
+        synced = {kind for f, kind in self._cache_synced if f == fp}
+        written = self.artifact_cache.store_from(
             self.store, fp, self.options, exclude=synced
         )
-        self._disk_synced.update((fp, kind) for kind in written)
+        self._cache_synced.update((fp, kind) for kind in written)
 
     # -- incrementality ------------------------------------------------------
 

@@ -1,10 +1,12 @@
-"""Persistent cross-run artifact cache (`repro.pipeline.diskcache`).
+"""Persistent cross-run artifact cache over the default local backend
+(`repro.pipeline.cachestore`, via the `repro.pipeline.diskcache` facade).
 
 The contract under test: a warm re-scan of an unchanged app performs
 zero app-scoped artifact builds, scan output is byte-identical with the
 cache cold, warm, or disabled (including ``--jobs``), corrupted entries
 degrade to rebuilds, and a patched app rebuilds only the invalidation
-cone.
+cone.  The backend seam itself (protocol conformance, memory/tiered
+backends, ``--cache-backend``) is covered in ``test_cachestore.py``.
 """
 
 import json
@@ -21,7 +23,7 @@ from repro.core.checker import DEFAULT_CHECKS, EXTENDED_CHECKS, NCheckerOptions
 from repro.core.patcher import Patcher
 from repro.corpus.snippets import Connectivity, Notification, RequestSpec
 from repro.ir.statements import NopStmt
-from repro.pipeline import diskcache
+from repro.pipeline.cachestore import fingerprints
 from repro.pipeline.diskcache import (
     CACHE_FORMAT_VERSION,
     DiskCache,
@@ -87,7 +89,7 @@ class TestFingerprints:
 
         registry = default_registry()
         before = registry_fingerprint(registry)
-        monkeypatch.setattr(diskcache, "LIBMODELS_VERSION", 9999)
+        monkeypatch.setattr(fingerprints, "LIBMODELS_VERSION", 9999)
         assert registry_fingerprint(registry) != before
 
 
@@ -95,12 +97,15 @@ class TestSizes:
     @pytest.mark.parametrize(
         "text,expected",
         [("4096", 4096), ("1K", 1024), ("1.5M", 1536 * 1024),
-         ("2G", 2 << 30), (" 512m ", 512 << 20), ("0", 0)],
+         ("2G", 2 << 30), (" 512m ", 512 << 20), ("0", 0),
+         ("1.5G", 3 << 29), ("512m", 512 << 20), ("0.5k", 512),
+         ("2.5t", int(2.5 * (1 << 40))), ("100B", 100), ("3.25", 3)],
     )
     def test_parse_size(self, text, expected):
         assert parse_size(text) == expected
 
-    @pytest.mark.parametrize("bad", ["", "garbage", "-1", "1X5"])
+    @pytest.mark.parametrize("bad", ["", "garbage", "-1", "1X5", "-2G",
+                                     "G", "1.2.3M"])
     def test_parse_size_rejects(self, bad):
         with pytest.raises(ValueError):
             parse_size(bad)
@@ -109,6 +114,22 @@ class TestSizes:
         assert format_size(512) == "512B"
         assert format_size(2048) == "2.0K"
         assert format_size(3 << 20) == "3.0M"
+
+    @pytest.mark.parametrize(
+        "n", [0, 1, 512, 1024, 1536, 2048, 1 << 20, 3 << 29, 5 << 30]
+    )
+    def test_format_size_round_trips_exactly(self, n):
+        """Any byte count whose rendering carries no rounding loss comes
+        back exactly through parse_size."""
+        assert parse_size(format_size(n)) == n
+
+    @pytest.mark.parametrize("n", [999, 1025, 1536 * 1024 + 7, (1 << 30) + 123])
+    def test_format_size_round_trips_within_rendered_precision(self, n):
+        """The general guarantee: rendering keeps one decimal, so the
+        round-trip lands within half a rendered decimal of the input."""
+        text = format_size(n)
+        unit = {"B": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30}[text[-1]]
+        assert abs(parse_size(text) - n) <= unit * 0.05 + 1
 
 
 class TestWarmScan:
@@ -121,7 +142,7 @@ class TestWarmScan:
         r2, s2 = scan_once(cache_dir)
         assert app_builds(s2) == dict.fromkeys(APP_KINDS, 0)
         for kind in ("callgraph", "summaries", "requests", "retry-loops"):
-            assert s2.store.metrics.counter_value(f"cache.disk.{kind}.hits") == 1
+            assert s2.store.metrics.counter_value(f"cache.local.{kind}.hits") == 1
         assert finding_sigs(r2) == finding_sigs(r1)
         assert [req.location() for req in r2.requests] == [
             req.location() for req in r1.requests
@@ -145,14 +166,16 @@ class TestWarmScan:
     def test_format_version_bump_is_cold(self, tmp_path, monkeypatch):
         cache_dir = tmp_path / "cache"
         scan_once(cache_dir)
-        monkeypatch.setattr(diskcache, "CACHE_FORMAT_VERSION", CACHE_FORMAT_VERSION + 1)
+        monkeypatch.setattr(
+            fingerprints, "CACHE_FORMAT_VERSION", CACHE_FORMAT_VERSION + 1
+        )
         _r, session = scan_once(cache_dir)
         assert app_builds(session)["callgraph"] == 1  # old entries unusable
 
     def test_library_model_bump_is_cold(self, tmp_path, monkeypatch):
         cache_dir = tmp_path / "cache"
         scan_once(cache_dir)
-        monkeypatch.setattr(diskcache, "LIBMODELS_VERSION", 9999)
+        monkeypatch.setattr(fingerprints, "LIBMODELS_VERSION", 9999)
         _r, session = scan_once(cache_dir)
         assert app_builds(session)["callgraph"] == 1
 
@@ -179,20 +202,20 @@ class TestCorruption:
         m = session.store.metrics
         # One miss for the unreadable entry, one for the write-back of
         # the rebuilt artifact (every write counts as a miss).
-        assert m.counter_value("cache.disk.summaries.misses") == 2
-        assert m.counter_value("cache.disk.errors") == 1
+        assert m.counter_value("cache.local.summaries.misses") == 2
+        assert m.counter_value("cache.local.errors") == 1
         assert app_builds(session)["summaries"] == 1
         assert app_builds(session)["callgraph"] == 0  # others still warm
         # The rebuilt artifact overwrote the bad entry: next scan is clean.
         _r3, s3 = scan_once(tmp_path / "cache")
         assert app_builds(s3) == dict.fromkeys(APP_KINDS, 0)
-        assert s3.store.metrics.counter_value("cache.disk.errors") == 0
+        assert s3.store.metrics.counter_value("cache.local.errors") == 0
 
     def test_truncated_below_header_is_a_miss(self, tmp_path):
         session, _ = self.corrupt_and_rescan(
             tmp_path, lambda p: p.write_bytes(b"NC")
         )
-        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+        assert session.store.metrics.counter_value("cache.local.errors") == 1
 
     def test_bad_magic_is_a_miss(self, tmp_path):
         def stamp(path):
@@ -201,7 +224,7 @@ class TestCorruption:
             path.write_bytes(bytes(data))
 
         session, _ = self.corrupt_and_rescan(tmp_path, stamp)
-        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+        assert session.store.metrics.counter_value("cache.local.errors") == 1
 
     def test_header_version_mismatch_is_a_miss(self, tmp_path):
         def bump_version(path):
@@ -210,7 +233,7 @@ class TestCorruption:
             path.write_bytes(bytes(data))
 
         session, _ = self.corrupt_and_rescan(tmp_path, bump_version)
-        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+        assert session.store.metrics.counter_value("cache.local.errors") == 1
 
     def test_flipped_payload_byte_is_a_miss(self, tmp_path):
         def flip(path):
@@ -219,7 +242,7 @@ class TestCorruption:
             path.write_bytes(bytes(data))
 
         session, _ = self.corrupt_and_rescan(tmp_path, flip)
-        assert session.store.metrics.counter_value("cache.disk.errors") == 1
+        assert session.store.metrics.counter_value("cache.local.errors") == 1
 
 
 class TestPatchWarmStart:
@@ -282,14 +305,37 @@ class TestManagement:
         cache = self.populated(tmp_path)
         total = cache.stats().total_bytes
         keep = max(p.stat().st_size for p in cache._entry_files())
-        removed, freed = cache.gc(keep)
+        removed, freed = cache.gc(keep, grace_seconds=0)
         assert removed > 0 and freed > 0
         assert cache.stats().total_bytes <= keep
         assert freed == total - cache.stats().total_bytes
 
     def test_gc_noop_when_under_budget(self, tmp_path):
         cache = self.populated(tmp_path)
-        assert cache.gc(1 << 30) == (0, 0)
+        assert cache.gc(1 << 30, grace_seconds=0) == (0, 0)
+
+    def test_gc_spares_entries_inside_the_grace_window(self, tmp_path):
+        """A freshly written entry survives gc regardless of the budget:
+        a collection racing a concurrent scanner must not drop an
+        in-flight entry (default 60s mtime grace)."""
+        import os
+        import time
+
+        cache = self.populated(tmp_path)
+        files = cache._entry_files()
+        assert files
+        # Age every entry but one out of the grace window.
+        old = time.time() - 3600
+        fresh = files[0]
+        for path in files[1:]:
+            os.utime(path, (old, old))
+        removed, _freed = cache.gc(0)  # default grace window
+        assert removed == len(files) - 1
+        assert cache._entry_files() == [fresh]
+        # Once it ages out, the same budget takes it too.
+        os.utime(fresh, (old, old))
+        assert cache.gc(0)[0] == 1
+        assert cache._entry_files() == []
 
     def test_clear_empties_everything(self, tmp_path):
         cache = self.populated(tmp_path)
@@ -370,7 +416,7 @@ class TestCLIByteIdentity:
         for kind in APP_KINDS:
             assert warm.get(f"artifact.{kind}.builds", 0) == 0
         for kind in ("callgraph", "summaries", "requests", "retry-loops"):
-            assert warm.get(f"cache.disk.{kind}.hits", 0) == 2
+            assert warm.get(f"cache.local.{kind}.hits", 0) == 2
 
     def test_warm_jobs_run_has_zero_app_builds(self, app_files, tmp_path, capsys):
         warm_metrics = tmp_path / "warm-jobs.json"
@@ -412,7 +458,7 @@ class TestExtendedChecksCache:
         r2, s2 = self.scan_extended(cache_dir)
         assert s2.store.counters.builds_of("threadcontext") == 0
         assert (
-            s2.store.metrics.counter_value("cache.disk.threadcontext.hits") == 1
+            s2.store.metrics.counter_value("cache.local.threadcontext.hits") == 1
         )
         assert app_builds(s2) == dict.fromkeys(APP_KINDS, 0)
         assert finding_sigs(r2) == finding_sigs(r1)
@@ -464,7 +510,7 @@ class TestExtendedChecksCache:
         capsys.readouterr()
         warm = json.loads(warm_metrics.read_text())["counters"]
         assert warm.get("artifact.threadcontext.builds", 0) == 0
-        assert warm.get("cache.disk.threadcontext.hits", 0) == len(
+        assert warm.get("cache.local.threadcontext.hits", 0) == len(
             lifecycle_files
         )
 
@@ -486,14 +532,30 @@ class TestCacheSubcommand:
         self.populate(tmp_path, capsys)
         code, out, _ = self.run(["cache", "stats"], capsys)
         assert code == 0 and "entries for 1 app(s)" in out
+        # Per-kind breakdown: every persisted kind gets its own row with
+        # an entry count and a size, so cache growth is attributable.
+        for kind in ("callgraph", "summaries", "requests", "retry-loops"):
+            assert any(
+                line.split()[0] == kind and len(line.split()) == 3
+                for line in out.splitlines()
+            ), f"no per-kind row for {kind}:\n{out}"
         code, out, _ = self.run(["cache", "clear"], capsys)
         assert code == 0 and out.startswith("removed ")
         code, out, _ = self.run(["cache", "stats"], capsys)
         assert "0 entries" in out
 
-    def test_gc(self, tmp_path, capsys):
+    def test_gc_spares_fresh_entries_by_default(self, tmp_path, capsys):
         self.populate(tmp_path, capsys)
         code, out, _ = self.run(["cache", "gc", "--max-size", "0"], capsys)
+        assert code == 0 and out.startswith("removed 0 ")
+        _code, out, _ = self.run(["cache", "stats"], capsys)
+        assert "0 entries" not in out  # just-written entries survive
+
+    def test_gc_min_age_zero_collects_everything(self, tmp_path, capsys):
+        self.populate(tmp_path, capsys)
+        code, out, _ = self.run(
+            ["cache", "gc", "--max-size", "0", "--min-age", "0"], capsys
+        )
         assert code == 0 and "freed" in out
         _code, out, _ = self.run(["cache", "stats"], capsys)
         assert "0 entries" in out
