@@ -42,10 +42,27 @@ from repro.pipeline.batch import scan_corpus
 BENCH_FILE = Path("BENCH_pipeline.json")
 
 
+def _provenance() -> dict:
+    """Identity block for the derived BENCH export: which schema wrote
+    it, under which options fingerprint, at which commit."""
+    from repro.obs import BENCH_SCHEMA_VERSION, git_head_sha
+    from repro.pipeline.cachestore.fingerprints import scan_options_fingerprint
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "options_fingerprint": scan_options_fingerprint(NCheckerOptions()),
+        "git_sha": git_head_sha(),
+        "source": "benchmarks/test_pipeline_scaling.py",
+    }
+
+
 def _record(section: str, data: dict) -> None:
     payload = {}
     if BENCH_FILE.exists():
         payload = json.loads(BENCH_FILE.read_text())
+    prov = _provenance()
+    payload["schema_version"] = prov.pop("schema_version")
+    payload["provenance"] = prov
     payload[section] = data
     BENCH_FILE.write_text(json.dumps(payload, indent=2) + "\n")
 
@@ -61,7 +78,7 @@ def _timing_fields(snapshot: dict) -> dict:
     """The per-pass/per-artifact timing summary of a merged snapshot
     (histogram reservoirs stripped — BENCH files stay small)."""
     return {
-        name: {k: hist[k] for k in ("count", "total", "p50", "p95", "max")}
+        name: {k: hist[k] for k in ("count", "total", "p50", "p95", "p99", "max")}
         for name, hist in snapshot.get("histograms", {}).items()
     }
 

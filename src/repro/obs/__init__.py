@@ -1,12 +1,19 @@
-"""Observability: structured tracing, metrics, and diagnostic logging.
+"""Observability: structured tracing, metrics, profiles, and the ledger.
 
 The telemetry subsystem behind ``nchecker scan --trace/--metrics/--stats
-/--progress`` (see ``docs/OBSERVABILITY.md``):
+/--profile/--progress`` and ``nchecker bench`` (see
+``docs/OBSERVABILITY.md`` and ``docs/BENCHMARKS.md``):
 
 * :mod:`repro.obs.trace` — span-based tracer (context-manager API,
   near-zero overhead when disabled) with Chrome trace-event export;
 * :mod:`repro.obs.metrics` — counters / gauges / timing histograms with
   a serializable snapshot/merge protocol for process-pool workers;
+* :mod:`repro.obs.profile` — folds the span stream into an aggregated
+  self/cumulative wall-time tree (``scan --profile``);
+* :mod:`repro.obs.events` — the append-only JSONL run ledger
+  (``nchecker bench record``);
+* :mod:`repro.obs.compare` — baseline/current regression comparison
+  (``nchecker bench compare|gate``);
 * :mod:`repro.obs.log` — the ``nchecker`` diagnostic logger tree
   (stderr-only, so machine-readable stdout stays clean);
 * :mod:`repro.obs.render` — the ``--stats`` telemetry table.
@@ -20,6 +27,23 @@ Instrumented code uses the two module-level accessors::
             ...
 """
 
+from .compare import (
+    DEFAULT_TIMING_MIN_MS,
+    DEFAULT_TIMING_THRESHOLD,
+    CompareResult,
+    compare_runs,
+    load_run,
+)
+from .events import (
+    BENCH_SCHEMA_VERSION,
+    LEDGER_SCHEMA_VERSION,
+    RunLedger,
+    app_set_digest,
+    git_head_sha,
+    provenance,
+    resolve_ledger_dir,
+    run_record,
+)
 from .log import configure_logging, get_logger
 from .metrics import (
     MetricsRegistry,
@@ -28,6 +52,13 @@ from .metrics import (
     metrics,
     set_metrics,
     use_metrics,
+)
+from .profile import (
+    flatten_profile,
+    merge_profiles,
+    profile_from_events,
+    profile_total_ms,
+    render_profile,
 )
 from .render import render_telemetry
 from .trace import (
@@ -41,16 +72,34 @@ from .trace import (
 )
 
 __all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "CompareResult",
+    "DEFAULT_TIMING_MIN_MS",
+    "DEFAULT_TIMING_THRESHOLD",
+    "LEDGER_SCHEMA_VERSION",
     "MetricsRegistry",
     "NULL_SPAN",
+    "RunLedger",
     "Tracer",
+    "app_set_digest",
     "chrome_trace",
+    "compare_runs",
     "configure_logging",
     "empty_snapshot",
+    "flatten_profile",
     "get_logger",
+    "git_head_sha",
+    "load_run",
+    "merge_profiles",
     "merge_snapshots",
     "metrics",
+    "profile_from_events",
+    "profile_total_ms",
+    "provenance",
+    "render_profile",
     "render_telemetry",
+    "resolve_ledger_dir",
+    "run_record",
     "set_metrics",
     "set_tracer",
     "span",

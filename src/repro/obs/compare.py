@@ -1,0 +1,284 @@
+"""Regression comparison between two recorded runs.
+
+``nchecker bench compare A B`` and ``nchecker bench gate`` both reduce
+to :func:`compare_runs` over two run records (ledger entries, ledger
+files, derived exports, or raw ``--metrics`` snapshots — see
+:func:`load_run`):
+
+* **Counters** exact-match where deterministic.  The analysis pipeline
+  is deterministic over (apps, options) — the scan-scaling benchmark
+  asserts ``--jobs N`` counters equal serial ones, and counters are
+  hash-seed-stable — so any drift in a deterministic counter is a
+  behaviour change, not noise.  Counters under
+  :data:`NONDETERMINISTIC_COUNTER_PREFIXES` (cache hit/miss counts,
+  which depend on what previous runs left behind) are reported but never
+  gate.
+* **Timings** compare with a configurable relative threshold (default
+  ±20%, :data:`DEFAULT_TIMING_THRESHOLD`): a histogram's ``total``
+  exceeding ``baseline * (1 + threshold)`` is a regression, dropping
+  below ``baseline * (1 - threshold)`` is reported as an improvement.
+  Timings whose totals sit under an absolute noise floor
+  (:data:`DEFAULT_TIMING_MIN_MS`) never gate: a relative threshold on a
+  0.04 ms total measures scheduler jitter, not the code.
+* **Profile trees** compare node-for-node on the deterministic axis:
+  a span path whose *count* changed is a regression (the tree's shape is
+  a function of the code, like a counter); per-node times ride the same
+  relative threshold but only *inform* — the pass/artifact timing
+  histograms already gate wall time, and double-charging the same clock
+  noise would double the flake rate.
+
+An options-fingerprint mismatch is itself a regression: comparing a
+``--extended-checks`` run against a default baseline would otherwise
+"fail" every counter in a perfectly healthy build.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from .profile import flatten_profile
+
+#: Relative wall-time threshold: 0.20 means a timing may grow 20% before
+#: it gates.
+DEFAULT_TIMING_THRESHOLD = 0.20
+
+#: Absolute noise floor: a timing gates only when baseline or current
+#: total reaches this many milliseconds.
+DEFAULT_TIMING_MIN_MS = 5.0
+
+#: Counter prefixes whose values depend on state outside the run (what a
+#: previous scan left in the persistent cache) — compared for display,
+#: never gated.
+NONDETERMINISTIC_COUNTER_PREFIXES = ("cache.",)
+
+
+def load_run(path) -> dict:
+    """Load a run record from any of the shapes the tooling writes:
+
+    * a ledger ``.jsonl`` file (takes the **last** parseable record),
+    * a single ledger-entry / baseline / ``bench record --out`` JSON
+      object (``provenance`` block lifted to the top level if present),
+    * a raw ``scan --metrics`` snapshot (wrapped as an anonymous record).
+    """
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        data = None
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                candidate = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(candidate, dict):
+                data = candidate
+        if data is None:
+            raise ValueError(f"{path}: no parseable run record")
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object, got {type(data).__name__}")
+    record = dict(data)
+    prov = record.pop("provenance", None)
+    if isinstance(prov, dict):
+        for key, value in prov.items():
+            record.setdefault(key, value)
+    if "counters" not in record:
+        raise ValueError(f"{path}: record carries no counters section")
+    # A raw --metrics snapshot stores full histograms; summarize them
+    # into the timings shape ledger records use.
+    if "timings" not in record and "histograms" in record:
+        from .events import timing_summary
+
+        record["timings"] = timing_summary(record)
+    record.setdefault("timings", {})
+    return record
+
+
+def _is_deterministic(counter: str) -> bool:
+    return not counter.startswith(NONDETERMINISTIC_COUNTER_PREFIXES)
+
+
+@dataclass
+class CompareResult:
+    """The outcome of one baseline/current diff."""
+
+    baseline: dict
+    current: dict
+    threshold: float
+    #: ``[name, base, cur, note]`` per differing counter.
+    counter_rows: list = field(default_factory=list)
+    #: ``[name, base_ms, cur_ms, delta_pct, note]`` per reported timing.
+    timing_rows: list = field(default_factory=list)
+    #: ``[path, base_count, cur_count, base_ms, cur_ms, note]``.
+    profile_rows: list = field(default_factory=list)
+    #: Human-readable regression sentences; empty means the gate passes.
+    regressions: list = field(default_factory=list)
+    counters_compared: int = 0
+    timings_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        pct = self.threshold * 100.0
+        lines = ["== bench compare =="]
+        for role, rec in (("baseline", self.baseline), ("current", self.current)):
+            bits = [str(rec.get("run_id", "?"))]
+            if rec.get("label"):
+                bits.append(str(rec["label"]))
+            if rec.get("git_sha"):
+                bits.append(str(rec["git_sha"])[:10])
+            apps = (rec.get("app_set") or {}).get("count")
+            if apps is not None:
+                bits.append(f"{apps} app(s)")
+            lines.append(f"{role}: {', '.join(bits)}")
+        lines.append(
+            f"-- counters: {self.counters_compared} compared, "
+            f"{len(self.counter_rows)} differ --"
+        )
+        for name, base, cur, note in self.counter_rows:
+            lines.append(f"{name}: {base} -> {cur}  [{note}]")
+        lines.append(
+            f"-- timings: {self.timings_compared} compared, "
+            f"threshold ±{pct:.0f}% --"
+        )
+        for name, base, cur, delta, note in self.timing_rows:
+            arrow = f"{base:.1f} -> {cur:.1f} ms"
+            delta_s = f"{delta:+.0f}%" if delta is not None else "n/a"
+            lines.append(f"{name}: {arrow} ({delta_s})  [{note}]")
+        if self.profile_rows:
+            lines.append("-- profile --")
+            for path, bc, cc, bms, cms, note in self.profile_rows:
+                lines.append(
+                    f"{path}: count {bc} -> {cc}, "
+                    f"cum {bms:.1f} -> {cms:.1f} ms  [{note}]"
+                )
+        if self.regressions:
+            lines.append(f"-- verdict: {len(self.regressions)} regression(s) --")
+            lines.extend(f"REGRESSION: {r}" for r in self.regressions)
+        else:
+            lines.append("-- verdict: OK --")
+        return "\n".join(lines)
+
+
+def compare_runs(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_TIMING_THRESHOLD,
+    min_total_ms: float = DEFAULT_TIMING_MIN_MS,
+) -> CompareResult:
+    """Diff two run records; see the module docstring for the rules."""
+    result = CompareResult(baseline, current, threshold)
+
+    base_fp = baseline.get("options_fingerprint")
+    cur_fp = current.get("options_fingerprint")
+    if base_fp and cur_fp and base_fp != cur_fp:
+        result.regressions.append(
+            f"options fingerprint differs ({base_fp} vs {cur_fp}) — "
+            "these runs measured different configurations"
+        )
+    base_apps = baseline.get("app_set") or {}
+    cur_apps = current.get("app_set") or {}
+    if base_apps.get("digest") and cur_apps.get("digest") and (
+        base_apps["digest"] != cur_apps["digest"]
+    ):
+        result.regressions.append(
+            "app set differs — these runs scanned different inputs"
+        )
+
+    base_counters = baseline.get("counters", {})
+    cur_counters = current.get("counters", {})
+    names = sorted(set(base_counters) | set(cur_counters))
+    result.counters_compared = len(names)
+    for name in names:
+        base = base_counters.get(name, 0)
+        cur = cur_counters.get(name, 0)
+        if base == cur:
+            continue
+        if _is_deterministic(name):
+            result.counter_rows.append([name, base, cur, "MISMATCH"])
+            result.regressions.append(
+                f"deterministic counter {name} changed: {base} -> {cur}"
+            )
+        else:
+            result.counter_rows.append([name, base, cur, "state-dependent"])
+
+    base_timings = baseline.get("timings", {})
+    cur_timings = current.get("timings", {})
+    shared = sorted(set(base_timings) & set(cur_timings))
+    result.timings_compared = len(shared)
+    for name in shared:
+        base = base_timings[name].get("total", 0.0)
+        cur = cur_timings[name].get("total", 0.0)
+        if base <= 0.0:
+            continue  # nothing to take a ratio against
+        if max(base, cur) < min_total_ms:
+            continue  # under the noise floor: jitter, not behaviour
+        delta = (cur - base) / base
+        if delta > threshold:
+            result.timing_rows.append(
+                [name, base, cur, delta * 100.0, "REGRESSION"]
+            )
+            result.regressions.append(
+                f"timing {name} regressed {delta * 100.0:+.0f}% "
+                f"({base:.1f} -> {cur:.1f} ms, threshold "
+                f"±{threshold * 100.0:.0f}%)"
+            )
+        elif delta < -threshold:
+            result.timing_rows.append(
+                [name, base, cur, delta * 100.0, "improved"]
+            )
+        elif abs(delta) >= threshold / 2.0:
+            result.timing_rows.append([name, base, cur, delta * 100.0, "ok"])
+    for name in sorted(set(base_timings) - set(cur_timings)):
+        result.timing_rows.append(
+            [name, base_timings[name].get("total", 0.0), 0.0, None, "gone"]
+        )
+    for name in sorted(set(cur_timings) - set(base_timings)):
+        result.timing_rows.append(
+            [name, 0.0, cur_timings[name].get("total", 0.0), None, "new"]
+        )
+
+    base_profile = flatten_profile(baseline.get("profile") or {})
+    cur_profile = flatten_profile(current.get("profile") or {})
+    if base_profile and cur_profile:
+        for path in sorted(set(base_profile) | set(cur_profile)):
+            b = base_profile.get(path, {"count": 0, "cum_ms": 0.0})
+            c = cur_profile.get(path, {"count": 0, "cum_ms": 0.0})
+            if b["count"] != c["count"]:
+                result.profile_rows.append(
+                    [path, b["count"], c["count"],
+                     b["cum_ms"], c["cum_ms"], "MISMATCH"]
+                )
+                result.regressions.append(
+                    f"profile node {path} count changed: "
+                    f"{b['count']} -> {c['count']}"
+                )
+            elif b["cum_ms"] > 0.0 and (
+                max(b["cum_ms"], c["cum_ms"]) >= min_total_ms
+            ) and (
+                abs(c["cum_ms"] - b["cum_ms"]) / b["cum_ms"] > threshold
+            ):
+                result.profile_rows.append(
+                    [path, b["count"], c["count"],
+                     b["cum_ms"], c["cum_ms"], "time shifted"]
+                )
+    return result
+
+
+def gate(
+    baseline: dict,
+    current: dict,
+    threshold: float = DEFAULT_TIMING_THRESHOLD,
+    min_total_ms: float = DEFAULT_TIMING_MIN_MS,
+) -> tuple[int, CompareResult]:
+    """The ``bench gate`` core: ``(exit_code, result)`` — nonzero on any
+    regression."""
+    result = compare_runs(baseline, current, threshold, min_total_ms)
+    return (0 if result.ok else 1), result

@@ -60,13 +60,18 @@ class Histogram:
     #: Reservoir bound; beyond it every other sample is dropped.
     CAP = 2048
 
-    __slots__ = ("count", "total", "max", "values")
+    __slots__ = ("count", "total", "max", "values", "decimation")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.max = 0.0
         self.values: list[float] = []
+        #: How many observed samples one reservoir slot stands for: ``1``
+        #: means percentiles are exact, each halving doubles it.  Exposed
+        #: in the snapshot so consumers know when p50/p95/p99 are
+        #: approximate.
+        self.decimation = 1
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -78,6 +83,7 @@ class Histogram:
             # Deterministic decimation: halve the reservoir, keep the tail
             # arriving at full rate until the next overflow.
             self.values = self.values[::2]
+            self.decimation *= 2
 
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile over the reservoir (0 when empty)."""
@@ -172,6 +178,8 @@ class MetricsRegistry:
                     "max": h.max,
                     "p50": h.percentile(50),
                     "p95": h.percentile(95),
+                    "p99": h.percentile(99),
+                    "decimation": h.decimation,
                     "values": list(h.values),
                 }
                 for name, h in sorted(self._histograms.items())
@@ -186,8 +194,13 @@ def empty_snapshot() -> dict:
 def merge_snapshots(snapshots) -> dict:
     """Merge worker snapshots: counters sum, gauges keep the max,
     histograms pool samples (count/total/max exact, percentiles
-    recomputed over the pooled — possibly decimated — reservoirs)."""
+    recomputed over the pooled — possibly decimated — reservoirs, the
+    merged decimation factor tracking every halving), and profile trees
+    (when present — ``scan --profile``) pool node-for-node."""
+    from .profile import merge_profiles
+
     merged = empty_snapshot()
+    profiles = []
     for snap in snapshots:
         if not snap:
             continue
@@ -197,20 +210,31 @@ def merge_snapshots(snapshots) -> dict:
             merged["gauges"][name] = max(merged["gauges"].get(name, value), value)
         for name, hist in snap.get("histograms", {}).items():
             into = merged["histograms"].setdefault(
-                name, {"count": 0, "total": 0.0, "max": 0.0, "values": []}
+                name,
+                {"count": 0, "total": 0.0, "max": 0.0, "values": [],
+                 "decimation": 1},
             )
             into["count"] += hist.get("count", 0)
             into["total"] += hist.get("total", 0.0)
             into["max"] = max(into["max"], hist.get("max", 0.0))
+            into["decimation"] = max(
+                into["decimation"], hist.get("decimation", 1)
+            )
             into["values"].extend(hist.get("values", ()))
             while len(into["values"]) > Histogram.CAP:
                 into["values"] = into["values"][::2]
+                into["decimation"] *= 2
+        if snap.get("profile"):
+            profiles.append(snap["profile"])
     for hist in merged["histograms"].values():
         hist["p50"] = percentile(hist["values"], 50)
         hist["p95"] = percentile(hist["values"], 95)
+        hist["p99"] = percentile(hist["values"], 99)
     merged["counters"] = dict(sorted(merged["counters"].items()))
     merged["gauges"] = dict(sorted(merged["gauges"].items()))
     merged["histograms"] = dict(sorted(merged["histograms"].items()))
+    if profiles:
+        merged["profile"] = merge_profiles(profiles)
     return merged
 
 

@@ -14,6 +14,16 @@ def _fmt_ms(value: float) -> str:
     return f"{value:.1f}"
 
 
+def _fmt_pctl(hist: dict, key: str) -> str:
+    """A percentile cell; a trailing ``~`` marks it approximate (the
+    reservoir decimated, so p50/p95/p99 are estimates — count/total/max
+    stay exact)."""
+    text = _fmt_ms(hist.get(key, 0.0))
+    if hist.get("decimation", 1) > 1:
+        text += "~"
+    return text
+
+
 def _rows_to_table(header: list[str], rows: list[list[str]]) -> list[str]:
     widths = [
         max(len(header[i]), *(len(r[i]) for r in rows)) if rows else len(header[i])
@@ -44,15 +54,16 @@ def render_telemetry(snapshot: dict) -> str:
                 str(counters.get(f"pass.{name}.runs", 0)),
                 str(counters.get(f"pass.{name}.findings", 0)),
                 str(counters.get(f"pass.{name}.methods_visited", 0)),
-                _fmt_ms(hist.get("p50", 0.0)),
-                _fmt_ms(hist.get("p95", 0.0)),
+                _fmt_pctl(hist, "p50"),
+                _fmt_pctl(hist, "p95"),
+                _fmt_pctl(hist, "p99"),
                 _fmt_ms(hist.get("max", 0.0)),
                 _fmt_ms(hist.get("total", 0.0)),
             ])
         lines.append("-- passes --")
         lines.extend(_rows_to_table(
             ["pass", "runs", "findings", "methods", "p50ms", "p95ms",
-             "maxms", "totalms"],
+             "p99ms", "maxms", "totalms"],
             rows,
         ))
 
@@ -97,8 +108,9 @@ def render_telemetry(snapshot: dict) -> str:
         for name, hist in sorted(engine_hists.items()):
             lines.append(
                 f"{name}: n={hist.get('count', 0)} "
-                f"p50={_fmt_ms(hist.get('p50', 0.0))} "
-                f"p95={_fmt_ms(hist.get('p95', 0.0))} "
+                f"p50={_fmt_pctl(hist, 'p50')} "
+                f"p95={_fmt_pctl(hist, 'p95')} "
+                f"p99={_fmt_pctl(hist, 'p99')} "
                 f"max={_fmt_ms(hist.get('max', 0.0))}"
             )
     return "\n".join(lines)

@@ -46,6 +46,10 @@ class _ScanTask:
     #: in the payload; the parent merges (`--trace`/`--metrics`/`--stats`).
     want_trace: bool = False
     want_metrics: bool = False
+    #: Also fold this app's span stream into an aggregated profile tree
+    #: (`--profile`; rides on the metrics snapshot so it merges across
+    #: the pool with everything else).
+    want_profile: bool = False
 
 
 @dataclass
@@ -90,9 +94,11 @@ def _scan_payload(task: _ScanTask) -> ScanPayload:
     ``--jobs N`` run is the sum of per-app snapshots regardless of which
     process scanned which app.
     """
-    if not (task.want_trace or task.want_metrics):
+    if not (task.want_trace or task.want_metrics or task.want_profile):
         return _render_payload(task)
-    trace = Tracer(enabled=task.want_trace)
+    # Profiling needs the span stream, so it enables the tracer even
+    # when no --trace file was asked for.
+    trace = Tracer(enabled=task.want_trace or task.want_profile)
     registry = MetricsRegistry()
     old_tracer = set_tracer(trace)
     old_metrics = set_metrics(registry)
@@ -103,8 +109,13 @@ def _scan_payload(task: _ScanTask) -> ScanPayload:
         set_metrics(old_metrics)
     if task.want_trace:
         payload.trace_events = trace.export()
-    if task.want_metrics:
-        payload.metrics_snapshot = registry.snapshot()
+    if task.want_metrics or task.want_profile:
+        snapshot = registry.snapshot()
+        if task.want_profile:
+            from ..obs import profile_from_events
+
+            snapshot["profile"] = profile_from_events(trace.export())
+        payload.metrics_snapshot = snapshot
     return payload
 
 
@@ -175,6 +186,7 @@ class BatchScanner:
         want_summary: bool = False,
         want_trace: bool = False,
         want_metrics: bool = False,
+        want_profile: bool = False,
         progress: Optional[Callable[[int, int, ScanPayload], None]] = None,
     ) -> list[ScanPayload]:
         """Scan ``paths``; ``progress(done, total, payload)`` is invoked
@@ -182,7 +194,8 @@ class BatchScanner:
         CLI's ``--progress`` prints)."""
         tasks = [
             _ScanTask(str(path), self.options, want_json, want_sarif,
-                      want_stats, want_summary, want_trace, want_metrics)
+                      want_stats, want_summary, want_trace, want_metrics,
+                      want_profile)
             for path in paths
         ]
         return self._map(_scan_payload, tasks, progress)

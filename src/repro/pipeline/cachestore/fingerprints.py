@@ -98,6 +98,32 @@ def options_fingerprint(kind: str, options: "NCheckerOptions") -> str:
     return ";".join(f"{f}={getattr(options, f)!r}" for f in fields)
 
 
+def scan_options_fingerprint(options: "NCheckerOptions") -> str:
+    """One digest over every analysis-shaping option field — the whole-run
+    counterpart of the per-kind :func:`options_fingerprint`.
+
+    The run ledger (:mod:`repro.obs.events`) stamps this on every record
+    so ``nchecker bench compare`` never silently diffs runs produced
+    under different flags.  Storage-only fields (``cache_dir``,
+    ``cache_backend``) are excluded: they can never change scan output,
+    and a live backend instance has no stable repr anyway.  Unordered
+    collections are sorted before hashing so the digest is stable across
+    interpreter hash seeds.
+    """
+    import dataclasses
+
+    h = hashlib.blake2b(digest_size=12)
+    h.update(f"fmt{CACHE_FORMAT_VERSION};lib{LIBMODELS_VERSION}".encode())
+    for field in dataclasses.fields(options):
+        if field.name in ("cache_dir", "cache_backend"):
+            continue
+        value = getattr(options, field.name)
+        if isinstance(value, (set, frozenset)):
+            value = sorted(value)
+        h.update(f"\0{field.name}={value!r}".encode())
+    return h.hexdigest()
+
+
 def entry_digest(
     kind: str, app_fp: str, registry, options: "NCheckerOptions"
 ) -> str:

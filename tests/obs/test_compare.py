@@ -1,0 +1,217 @@
+"""Regression comparison: the rules `bench compare|gate` apply to two
+recorded runs."""
+
+import copy
+import json
+
+import pytest
+
+from repro.core.checker import NCheckerOptions
+from repro.obs import compare_runs, load_run, run_record
+from repro.obs.compare import gate
+
+
+def _snapshot():
+    return {
+        "counters": {
+            "scan.apps": 4,
+            "pass.connectivity.runs": 4,
+            "cache.local.callgraph.hits": 7,
+        },
+        "gauges": {},
+        "histograms": {
+            "pass.connectivity.wall_ms": {
+                "count": 4, "total": 100.0, "p50": 20.0, "p95": 40.0,
+                "p99": 40.0, "max": 40.0, "decimation": 1, "values": [],
+            },
+            "pass.tiny.wall_ms": {
+                "count": 4, "total": 0.04, "p50": 0.01, "p95": 0.02,
+                "p99": 0.02, "max": 0.02, "decimation": 1, "values": [],
+            },
+        },
+        "profile": {
+            "scan": {
+                "count": 4, "cum_ms": 100.0, "self_ms": 60.0,
+                "children": {
+                    "pass:connectivity": {
+                        "count": 4, "cum_ms": 40.0, "self_ms": 40.0,
+                        "children": {},
+                    },
+                },
+            },
+        },
+    }
+
+
+def _run(**kwargs):
+    defaults = dict(
+        options=NCheckerOptions(),
+        app_set={"count": 4, "digest": "abc"},
+        snapshot=_snapshot(),
+        wall_s=1.0,
+    )
+    defaults.update(kwargs)
+    return run_record("bench", **defaults)
+
+
+@pytest.fixture
+def baseline():
+    return _run()
+
+
+class TestCounters:
+    def test_identical_runs_pass(self, baseline):
+        result = compare_runs(baseline, copy.deepcopy(baseline))
+        assert result.ok
+        assert result.counter_rows == []
+        code, _ = gate(baseline, copy.deepcopy(baseline))
+        assert code == 0
+
+    def test_deterministic_counter_drift_gates(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["counters"]["pass.connectivity.runs"] = 5
+        code, result = gate(baseline, current)
+        assert code == 1
+        assert any("pass.connectivity.runs" in r for r in result.regressions)
+
+    def test_missing_counter_compares_as_zero(self, baseline):
+        current = copy.deepcopy(baseline)
+        del current["counters"]["pass.connectivity.runs"]
+        assert not compare_runs(baseline, current).ok
+
+    def test_cache_counters_report_but_never_gate(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["counters"]["cache.local.callgraph.hits"] = 0
+        result = compare_runs(baseline, current)
+        assert result.ok
+        assert ["cache.local.callgraph.hits", 7, 0, "state-dependent"] in (
+            result.counter_rows
+        )
+
+
+class TestTimings:
+    def _with_total(self, record, total):
+        out = copy.deepcopy(record)
+        out["timings"]["pass.connectivity.wall_ms"]["total"] = total
+        return out
+
+    def test_regression_beyond_threshold_gates(self, baseline):
+        current = self._with_total(baseline, 125.0)  # +25% on 100 ms
+        code, result = gate(baseline, current)
+        assert code == 1
+        assert any("pass.connectivity.wall_ms" in r for r in result.regressions)
+
+    def test_threshold_is_configurable(self, baseline):
+        current = self._with_total(baseline, 125.0)
+        code, _ = gate(baseline, current, threshold=0.5)
+        assert code == 0
+
+    def test_improvement_reports_without_gating(self, baseline):
+        current = self._with_total(baseline, 50.0)
+        result = compare_runs(baseline, current)
+        assert result.ok
+        assert any(row[4] == "improved" for row in result.timing_rows)
+
+    def test_sub_floor_jitter_never_gates(self, baseline):
+        # pass.tiny doubles from 0.04 to 0.08 ms: +100%, but both totals
+        # sit under the absolute noise floor.
+        current = copy.deepcopy(baseline)
+        current["timings"]["pass.tiny.wall_ms"]["total"] = 0.08
+        assert compare_runs(baseline, current).ok
+        # Lowering the floor turns the same delta into a regression.
+        assert not compare_runs(baseline, current, min_total_ms=0.01).ok
+
+    def test_gone_and_new_timings_inform_only(self, baseline):
+        current = copy.deepcopy(baseline)
+        del current["timings"]["pass.tiny.wall_ms"]
+        current["timings"]["pass.fresh.wall_ms"] = {"total": 1.0}
+        result = compare_runs(baseline, current)
+        assert result.ok
+        notes = {row[4] for row in result.timing_rows}
+        assert {"gone", "new"} <= notes
+
+
+class TestIdentityGuards:
+    def test_options_fingerprint_mismatch_gates(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["options_fingerprint"] = "f" * 24
+        code, result = gate(baseline, current)
+        assert code == 1
+        assert any("options fingerprint" in r for r in result.regressions)
+
+    def test_app_set_mismatch_gates(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["app_set"]["digest"] = "other"
+        assert not compare_runs(baseline, current).ok
+
+
+class TestProfile:
+    def test_count_change_gates(self, baseline):
+        current = copy.deepcopy(baseline)
+        node = current["profile"]["scan"]["children"]["pass:connectivity"]
+        node["count"] = 5
+        code, result = gate(baseline, current)
+        assert code == 1
+        assert any("scan/pass:connectivity" in r for r in result.regressions)
+
+    def test_time_shift_informs_without_gating(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["profile"]["scan"]["cum_ms"] = 200.0
+        result = compare_runs(baseline, current)
+        assert result.ok
+        assert ["scan", 4, 4, 100.0, 200.0, "time shifted"] in (
+            result.profile_rows
+        )
+
+
+class TestLoadRun:
+    def test_single_json_with_provenance_lifted(self, tmp_path, baseline):
+        export = {
+            "schema_version": 2,
+            "provenance": {
+                "run_id": baseline["run_id"],
+                "options_fingerprint": baseline["options_fingerprint"],
+            },
+            "counters": baseline["counters"],
+            "timings": baseline["timings"],
+        }
+        path = tmp_path / "export.json"
+        path.write_text(json.dumps(export))
+        loaded = load_run(path)
+        assert loaded["run_id"] == baseline["run_id"]
+        assert loaded["options_fingerprint"] == baseline["options_fingerprint"]
+
+    def test_jsonl_takes_last_record(self, tmp_path, baseline):
+        newer = copy.deepcopy(baseline)
+        newer["label"] = "newer"
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(
+            json.dumps(baseline) + "\n" + json.dumps(newer) + "\n"
+        )
+        assert load_run(path)["label"] == "newer"
+
+    def test_raw_metrics_snapshot_gets_timings_summarized(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(_snapshot()))
+        loaded = load_run(path)
+        assert "pass.connectivity.wall_ms" in loaded["timings"]
+        assert loaded["timings"]["pass.connectivity.wall_ms"]["p99"] == 40.0
+
+    def test_counterless_file_is_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"timings": {}}))
+        with pytest.raises(ValueError):
+            load_run(path)
+
+
+class TestRender:
+    def test_sections_and_verdict(self, baseline):
+        current = copy.deepcopy(baseline)
+        current["counters"]["pass.connectivity.runs"] = 9
+        text = compare_runs(baseline, current).render()
+        assert "== bench compare ==" in text
+        assert "-- counters:" in text
+        assert "-- timings:" in text
+        assert "REGRESSION: deterministic counter" in text
+        clean = compare_runs(baseline, copy.deepcopy(baseline)).render()
+        assert "-- verdict: OK --" in clean

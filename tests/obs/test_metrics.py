@@ -106,7 +106,17 @@ class TestSnapshot:
         assert snap["gauges"] == {"g": 1.5}
         hist = snap["histograms"]["h"]
         assert hist["count"] == 1
-        assert hist["p50"] == hist["p95"] == hist["max"] == 4.0
+        assert hist["p50"] == hist["p95"] == hist["p99"] == hist["max"] == 4.0
+
+    def test_snapshot_exposes_decimation_factor(self):
+        r = MetricsRegistry()
+        r.observe("small", 1.0)
+        assert r.snapshot()["histograms"]["small"]["decimation"] == 1
+        for v in range(Histogram.CAP * 3):
+            r.observe("big", float(v))
+        big = r.snapshot()["histograms"]["big"]
+        assert big["decimation"] > 1  # reservoir halved at least once
+        assert big["count"] == Histogram.CAP * 3  # exact fields stay exact
 
     def test_snapshot_keys_are_sorted(self):
         r = MetricsRegistry()
@@ -160,6 +170,65 @@ class TestMerge:
 
     def test_merge_of_nothing_is_empty(self):
         assert merge_snapshots([]) == empty_snapshot()
+
+    def test_disjoint_key_sets_union(self):
+        a = MetricsRegistry()
+        a.inc("only.a")
+        a.observe("hist.a", 1.0)
+        b = MetricsRegistry()
+        b.inc("only.b", 2)
+        b.set_gauge("gauge.b", 4.0)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"] == {"only.a": 1, "only.b": 2}
+        assert merged["gauges"] == {"gauge.b": 4.0}
+        assert merged["histograms"]["hist.a"]["count"] == 1
+
+    def test_merge_of_one_is_identity_on_deterministic_fields(self):
+        snap = self._registry(3, 2.0, [1.0, 2.0, 3.0]).snapshot()
+        merged = merge_snapshots([snap])
+        assert merged["counters"] == snap["counters"]
+        assert merged["gauges"] == snap["gauges"]
+        for key in ("count", "total", "max", "decimation"):
+            assert (merged["histograms"]["h"][key]
+                    == snap["histograms"]["h"][key])
+
+    def test_self_merge_doubles_counters_keeps_gauges_and_max(self):
+        snap = self._registry(3, 2.0, [1.0, 5.0]).snapshot()
+        merged = merge_snapshots([snap, snap])
+        assert merged["counters"]["c"] == 6
+        assert merged["gauges"]["g"] == 2.0  # max of equals
+        hist = merged["histograms"]["h"]
+        assert hist["count"] == 4
+        assert hist["max"] == 5.0
+
+    def test_profile_trees_pool_through_the_snapshot_merge(self):
+        # A worker snapshot may carry a `profile` forest; merging must
+        # pool the trees with everything else, associatively.  Whole-ms
+        # durations keep float sums binary-exact, so == is safe.
+        def snap(ms):
+            from repro.obs import profile_from_events
+
+            s = self._registry(1, 1.0, [1.0]).snapshot()
+            s["profile"] = profile_from_events([
+                {"name": "scan", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+                {"name": "scan", "ph": "E", "ts": ms * 1000,
+                 "pid": 1, "tid": 1},
+            ])
+            return s
+
+        snaps = [snap(ms) for ms in (1, 2, 4)]
+        left = merge_snapshots([merge_snapshots(snaps[:2]), snaps[2]])
+        flat = merge_snapshots(snaps)
+        assert left["profile"] == flat["profile"]
+        assert flat["profile"]["scan"]["count"] == 3
+        assert flat["profile"]["scan"]["cum_ms"] == 7.0
+        # A profile-less snapshot in the pool neither crashes nor zeroes
+        # the merged tree.
+        mixed = merge_snapshots([snaps[0], self._registry(1, 1.0, []).snapshot()])
+        assert mixed["profile"]["scan"]["count"] == 1
+        # No input carried a profile -> the merged snapshot has none.
+        plain = merge_snapshots([self._registry(1, 1.0, []).snapshot()])
+        assert "profile" not in plain
 
     def test_merged_equals_single_run(self):
         """The protocol's core promise: splitting deterministic work
