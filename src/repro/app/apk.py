@@ -64,7 +64,8 @@ class APK:
                     f"{self.package}: manifest declares missing class {name}"
                 )
         for method in self.methods():
-            method.validate()
+            if not method._validated:
+                method.validate()
 
     def stats(self) -> dict[str, int]:
         n_methods = 0

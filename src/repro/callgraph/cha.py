@@ -42,6 +42,14 @@ EDGE_ASYNC_TASK = "async_task"
 EDGE_RUNNABLE = "runnable"
 EDGE_LIB_CALLBACK = "lib_callback"
 
+#: Names that hand a runnable/thread off to the framework — hoisted out of
+#: the per-site edge derivation.
+_RUNNABLE_DISPATCH_METHODS = frozenset(
+    set(THREAD_START_METHODS)
+    | set(HANDLER_POST_METHODS)
+    | set(EXECUTOR_SUBMIT_METHODS)
+)
+
 
 @dataclass(frozen=True)
 class CallEdge:
@@ -68,6 +76,16 @@ class CallGraph:
         self.in_edges: dict[MethodKey, list[CallEdge]] = {}
         self.entry_points: list[EntryPoint] = discover_entry_points(apk)
         self.field_types = collect_field_types(list(apk.methods()))
+        #: The registry's callback-interface set never changes for the life
+        #: of the graph; computing it per call site was a build hotspot.
+        self._callback_interfaces: frozenset[str] = frozenset(
+            registry.callback_interfaces() if registry is not None else ()
+        )
+        #: Memoized ``origin_classes`` queries, keyed by (method, site,
+        #: local).  Edge derivation asks for the same origins repeatedly
+        #: (async-task, runnable, and library-callback probes per site);
+        #: entries for a method are dropped when its edges are refreshed.
+        self._origin_memo: dict[tuple[MethodKey, int, str], set[str]] = {}
         self._build()
 
     # -- construction -------------------------------------------------------
@@ -89,7 +107,7 @@ class CallGraph:
     def _edges_for_site(
         self, caller: MethodKey, method: IRMethod, idx: int, invoke: InvokeExpr
     ) -> Iterator[CallEdge]:
-        callee = self._resolve_direct(method, invoke)
+        callee = self._resolve_direct(method, idx, invoke)
         if callee is not None:
             yield CallEdge(caller, idx, callee, EDGE_DIRECT)
         yield from self._async_task_edges(caller, method, idx, invoke)
@@ -97,7 +115,7 @@ class CallGraph:
         yield from self._library_callback_edges(caller, method, idx, invoke)
 
     def _resolve_direct(
-        self, method: IRMethod, invoke: InvokeExpr
+        self, method: IRMethod, idx: int, invoke: InvokeExpr
     ) -> Optional[MethodKey]:
         hierarchy = self.apk.hierarchy
         cls_name = invoke.sig.class_name
@@ -105,36 +123,26 @@ class CallGraph:
             if invoke.base.name == "this":
                 cls_name = method.class_name
             else:
-                origins = origin_classes(
-                    method,
-                    self._site_index(method, invoke),
-                    invoke.base,
-                    self.cache,
-                    self.field_types,
-                )
+                origins = self._origins_of(method, idx, invoke.base)
                 app_origins = [o for o in origins if o in hierarchy]
                 if len(app_origins) == 1:
                     cls_name = app_origins[0]
         if cls_name not in hierarchy:
             return None
-        if invoke.kind == KIND_STATIC or invoke.is_constructor:
-            target = hierarchy.resolve_method(cls_name, invoke.sig.name, invoke.sig.arity)
-        else:
-            target = hierarchy.resolve_method(cls_name, invoke.sig.name, invoke.sig.arity)
+        target = hierarchy.resolve_method(cls_name, invoke.sig.name, invoke.sig.arity)
         if target is None:
             return None
         return method_key(target)
 
-    def _site_index(self, method: IRMethod, invoke: InvokeExpr) -> int:
-        for idx, site in method.invoke_sites():
-            if site is invoke:
-                return idx
-        raise ValueError("invoke not found in its method")
-
     def _origins_of(
         self, method: IRMethod, idx: int, local: Local
     ) -> set[str]:
-        return origin_classes(method, idx, local, self.cache, self.field_types)
+        memo_key = (method_key(method), idx, local.name)
+        cached = self._origin_memo.get(memo_key)
+        if cached is None:
+            cached = origin_classes(method, idx, local, self.cache, self.field_types)
+            self._origin_memo[memo_key] = cached
+        return cached
 
     def _async_task_edges(
         self, caller: MethodKey, method: IRMethod, idx: int, invoke: InvokeExpr
@@ -150,8 +158,9 @@ class CallGraph:
             cls = hierarchy.get(origin)
             if cls is None:
                 continue
+            cls_method_keys = cls.method_keys()
             for callback_name in ASYNC_TASK_CALLBACKS:
-                for name, arity in cls.method_keys():
+                for name, arity in cls_method_keys:
                     if name == callback_name:
                         yield CallEdge(
                             caller, idx, (origin, name, arity), EDGE_ASYNC_TASK
@@ -160,14 +169,9 @@ class CallGraph:
     def _runnable_edges(
         self, caller: MethodKey, method: IRMethod, idx: int, invoke: InvokeExpr
     ) -> Iterator[CallEdge]:
-        hierarchy = self.apk.hierarchy
-        dispatch_methods = (
-            set(THREAD_START_METHODS)
-            | set(HANDLER_POST_METHODS)
-            | set(EXECUTOR_SUBMIT_METHODS)
-        )
-        if invoke.sig.name not in dispatch_methods:
+        if invoke.sig.name not in _RUNNABLE_DISPATCH_METHODS:
             return
+        hierarchy = self.apk.hierarchy
         candidates: list[Local] = []
         if invoke.sig.name in THREAD_START_METHODS and invoke.base is not None:
             candidates.append(invoke.base)
@@ -194,13 +198,17 @@ class CallGraph:
     ) -> Iterator[CallEdge]:
         if self.registry is None:
             return
+        callback_interfaces = self._callback_interfaces
+        if not callback_interfaces:
+            return
         hierarchy = self.apk.hierarchy
-        callback_interfaces = self.registry.callback_interfaces()
         # Inspect every local argument; additionally, look one hop through
         # allocation sites into constructor arguments — Volley listeners
         # travel inside the Request object (`new StringRequest(m, url,
         # listener, errorListener)` then `queue.add(request)`).
         arg_locals = [a for a in invoke.args if isinstance(a, Local)]
+        if not arg_locals:
+            return
         arg_locals.extend(self._ctor_arg_locals(method, idx, arg_locals))
         for local in arg_locals:
             for origin in self._origins_of(method, idx, local):
@@ -228,6 +236,13 @@ class CallGraph:
         from ..ir.statements import AssignStmt
         from ..ir.values import NewExpr
 
+        if not arg_locals or not any(
+            isinstance(s, AssignStmt) and isinstance(s.value, NewExpr)
+            for s in method.statements
+        ):
+            # No allocation sites means no constructor to look through —
+            # skip the (comparatively expensive) origin traces entirely.
+            return []
         cfg = self.cache.cfg(method)
         defuse = self.cache.defuse(method)
         found: list[Local] = []
@@ -283,9 +298,14 @@ class CallGraph:
         if adopted:
             self.entry_points = discover_entry_points(self.apk)
         keys = [k for k in keys if k in self.methods]
+        dirty = set(keys)
+        self._origin_memo = {
+            mk: v for mk, v in self._origin_memo.items() if mk[0] not in dirty
+        }
         new_field_types = collect_field_types(list(self.apk.methods()))
         if new_field_types != self.field_types:
             self.field_types = new_field_types
+            self._origin_memo.clear()
             self.out_edges.clear()
             self.in_edges.clear()
             for key, method in self.methods.items():

@@ -25,7 +25,12 @@ MethodKey = tuple[str, str, int]
 
 
 def method_key(method: IRMethod) -> MethodKey:
-    return (method.class_name, method.name, method.sig.arity)
+    key = method._cached_key
+    if key is None:
+        sig = method.sig
+        key = (sig.class_name, sig.name, sig.arity)
+        method._cached_key = key
+    return key
 
 
 @dataclass(frozen=True)

@@ -21,33 +21,50 @@ from ..ir.values import FieldRef, InvokeExpr, Local, NewExpr
 
 
 class MethodAnalysisCache:
-    """Caches per-method CFGs and def-use chains across the whole scan.
+    """Caches per-method CFGs, def-use chains, and constant-propagation
+    results across the whole scan.
 
-    Building a CFG and its reaching definitions is the dominant cost of
+    Building a CFG and its dataflow fixpoints is the dominant cost of
     a scan; every check shares this cache through the checker context.
     """
 
     def __init__(self) -> None:
         self._cfgs: dict[int, CFG] = {}
         self._defuse: dict[int, DefUseChains] = {}
+        self._constants: dict[int, object] = {}
 
     def cfg(self, method: IRMethod) -> CFG:
         key = id(method)
-        if key not in self._cfgs:
-            self._cfgs[key] = CFG(method)
-        return self._cfgs[key]
+        found = self._cfgs.get(key)
+        if found is None:
+            found = self._cfgs[key] = CFG(method)
+        return found
 
     def defuse(self, method: IRMethod) -> DefUseChains:
         key = id(method)
-        if key not in self._defuse:
-            self._defuse[key] = DefUseChains(self.cfg(method))
-        return self._defuse[key]
+        found = self._defuse.get(key)
+        if found is None:
+            found = self._defuse[key] = DefUseChains(self.cfg(method))
+        return found
+
+    def constants(self, method: IRMethod):
+        """The solved :class:`~repro.dataflow.constants.
+        ConstantPropagation` for ``method`` — a pure per-method fixpoint
+        several checks re-derive for the same hot methods."""
+        from ..dataflow.constants import ConstantPropagation
+
+        key = id(method)
+        found = self._constants.get(key)
+        if found is None:
+            found = self._constants[key] = ConstantPropagation(self.cfg(method))
+        return found
 
     def invalidate(self, method: IRMethod) -> None:
         """Drop the cached analyses of one (mutated) method."""
         key = id(method)
         self._cfgs.pop(key, None)
         self._defuse.pop(key, None)
+        self._constants.pop(key, None)
 
 
 def origin_classes(

@@ -41,8 +41,19 @@ class CFG:
     ``exceptional_edges`` so analyses can distinguish them.
     """
 
+    __slots__ = (
+        "method",
+        "entry",
+        "exit",
+        "succs",
+        "preds",
+        "exceptional_edges",
+        "_acyclic",
+    )
+
     def __init__(self, method: IRMethod) -> None:
-        method.validate()
+        if not method._validated:
+            method.validate()
         self.method = method
         n = len(method.statements)
         self.entry = 0
@@ -50,6 +61,7 @@ class CFG:
         self.succs: list[list[int]] = [[] for _ in range(n + 1)]
         self.preds: list[list[int]] = [[] for _ in range(n + 1)]
         self.exceptional_edges: set[tuple[int, int]] = set()
+        self._acyclic: bool | None = None
         self._build()
 
     def _add_edge(self, src: int, dst: int, exceptional: bool = False) -> None:
@@ -67,6 +79,16 @@ class CFG:
     def _build(self) -> None:
         method = self.method
         n = len(method.statements)
+        # Resolve every trap's protected range and handler once, instead of
+        # re-resolving labels per may-throw statement (`traps_covering`).
+        trap_ranges: list[tuple[int, int, int]] = [
+            (
+                method.label_index(trap.begin),
+                method.label_index(trap.end),
+                self._resolve(trap.handler),
+            )
+            for trap in method.traps
+        ]
         for idx, stmt in enumerate(method.statements):
             if isinstance(stmt, ReturnStmt):
                 self._add_edge(idx, self.exit)
@@ -78,24 +100,46 @@ class CFG:
                     self._add_edge(idx, idx + 1)
             elif isinstance(stmt, ThrowStmt):
                 handled = False
-                for trap in method.traps_covering(idx):
-                    self._add_edge(idx, self._resolve(trap.handler), exceptional=True)
-                    handled = True
+                for begin, end, handler in trap_ranges:
+                    if begin <= idx < end:
+                        self._add_edge(idx, handler, exceptional=True)
+                        handled = True
                 if not handled:
                     self._add_edge(idx, self.exit, exceptional=True)
+                continue
             else:
                 if idx + 1 <= n:
                     self._add_edge(idx, idx + 1)
             # Exceptional edges from throwing statements inside trap ranges.
-            if may_throw(stmt) and not isinstance(stmt, ThrowStmt):
-                for trap in method.traps_covering(idx):
-                    self._add_edge(idx, self._resolve(trap.handler), exceptional=True)
+            if trap_ranges and may_throw(stmt):
+                for begin, end, handler in trap_ranges:
+                    if begin <= idx < end:
+                        self._add_edge(idx, handler, exceptional=True)
 
     # -- queries -----------------------------------------------------------
 
     @property
     def node_count(self) -> int:
         return self.exit + 1
+
+    @property
+    def acyclic(self) -> bool:
+        """Whether every edge advances the statement index.
+
+        Statement-index CFGs only cycle through an edge back to an
+        equal-or-earlier index (fall-through, branches past the loop, and
+        exits always advance), so "all edges advance" is exactly
+        acyclicity — and statement order is then a topological order.
+        Computed once and cached; dataflow solvers and loop detection both
+        take single-pass fast paths on acyclic graphs.
+        """
+        if self._acyclic is None:
+            self._acyclic = all(
+                dst > src
+                for src, dsts in enumerate(self.succs)
+                for dst in dsts
+            )
+        return self._acyclic
 
     def nodes(self) -> range:
         return range(self.node_count)

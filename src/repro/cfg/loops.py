@@ -37,6 +37,10 @@ class Loop:
 
 def natural_loops(cfg: CFG, dom: DominatorTree | None = None) -> list[Loop]:
     """All natural loops, one per header (same-header loops are merged)."""
+    # Fast path: an acyclic CFG has no back edges, hence no loops, and no
+    # need to compute dominators at all.  Most methods are loop-free.
+    if dom is None and cfg.acyclic:
+        return []
     dom = dom or DominatorTree(cfg)
     reachable = cfg.reachable_from(cfg.entry)
     back_edges_by_header: dict[int, list[tuple[int, int]]] = {}

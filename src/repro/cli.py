@@ -85,6 +85,8 @@ def _cmd_scan(args: argparse.Namespace) -> int:
         guard_aware_connectivity=args.guard_aware,
         interprocedural_connectivity=not args.intraprocedural,
         summary_based=not args.no_summaries,
+        eager_summaries=args.eager_summaries,
+        intra_jobs=args.intra_jobs,
         cache_dir=_resolve_cache_dir(args),
         cache_backend=_resolve_cache_backend(args),
         enabled_checks=_enabled_checks(args),
@@ -488,7 +490,11 @@ def _cmd_bench_record(args: argparse.Namespace) -> int:
         print("error: no apps given and no examples/apps/*.apkt found "
               "under the working directory", file=sys.stderr)
         return 2
-    options = NCheckerOptions(enabled_checks=_enabled_checks(args))
+    options = NCheckerOptions(
+        enabled_checks=_enabled_checks(args),
+        eager_summaries=args.eager_summaries,
+        intra_jobs=args.intra_jobs,
+    )
     record = _bench_measure(apps, args.jobs, options, args.label)
     ledger = RunLedger(resolve_ledger_dir(args.ledger_dir))
     ledger.append(record)
@@ -554,7 +560,11 @@ def _cmd_bench_gate(args: argparse.Namespace) -> int:
             print("error: no apps given, no --current file, and no "
                   "examples/apps/*.apkt found", file=sys.stderr)
             return 2
-        options = NCheckerOptions(enabled_checks=_enabled_checks(args))
+        options = NCheckerOptions(
+        enabled_checks=_enabled_checks(args),
+        eager_summaries=args.eager_summaries,
+        intra_jobs=args.intra_jobs,
+    )
         current = _bench_measure(apps, args.jobs, options,
                                  args.label or "gate")
         RunLedger(resolve_ledger_dir(args.ledger_dir)).append(current)
@@ -619,10 +629,27 @@ def build_parser() -> argparse.ArgumentParser:
         "a directory as 'local:DIR', otherwise it uses the resolved "
         "--cache-dir. See docs/CACHING.md",
     )
+    # Summary-engine performance knobs, shared by every command that
+    # scans under the summary engine.  Neither can change scan output:
+    # --intra-jobs is excluded from the scan-options fingerprint, and
+    # --eager-summaries only changes work volume (ablation baseline).
+    perf = argparse.ArgumentParser(add_help=False)
+    perf.add_argument(
+        "--intra-jobs", type=int, default=1, metavar="N",
+        help="evaluate independent summary SCCs of one wavefront on N "
+        "threads while prewarming (output, counters, and profile shapes "
+        "are identical to --intra-jobs 1)",
+    )
+    perf.add_argument(
+        "--eager-summaries", action="store_true",
+        help="build whole-app summary fact maps on first query instead "
+        "of demand-driven callee cones (ablation baseline; findings are "
+        "byte-identical)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     scan = sub.add_parser("scan", help="scan app files for NPDs",
-                          parents=[common, caching])
+                          parents=[common, caching, perf])
     scan.add_argument("apps", nargs="+", help=".apkt files to scan")
     scan.add_argument(
         "--summary", action="store_true", help="print per-kind counts only"
@@ -815,7 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
         "record",
         help="run an instrumented, cache-disabled benchmark scan and "
         "append it to the run ledger",
-        parents=[common],
+        parents=[common, perf],
     )
     record.add_argument(
         "apps", nargs="*",
@@ -877,7 +904,7 @@ def build_parser() -> argparse.ArgumentParser:
     gate = bench_action.add_parser(
         "gate",
         help="compare against a baseline and exit nonzero on regressions",
-        parents=[common],
+        parents=[common, perf],
     )
     gate.add_argument(
         "apps", nargs="*",

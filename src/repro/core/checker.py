@@ -74,6 +74,17 @@ class NCheckerOptions:
     #: Callee search depth for the *legacy* notification walk; ignored
     #: when ``summary_based`` is on (the summary facts are transitive).
     notification_callee_depth: int = 2
+    #: Ablation baseline for the demand-driven summary engine: build
+    #: whole-app fact maps on the first point query (the pre-lazy
+    #: behavior) instead of evaluating only the queried callee cones.
+    #: Results are identical either way; only work volume differs.
+    eager_summaries: bool = False
+    #: Wavefront workers for summary prewarming: independent SCCs of the
+    #: call-graph condensation evaluate concurrently on up to this many
+    #: threads.  Purely an execution detail — results, counters, and
+    #: profile shapes are identical for any value — so it is excluded
+    #: from the scan-options fingerprint.
+    intra_jobs: int = 1
     #: Enable the experimental network-switch analysis (paper Cause 4,
     #: which the original tool could not check — §4.2).  Needs a registry
     #: including the aSmack model (`repro.libmodels.extended_registry`).

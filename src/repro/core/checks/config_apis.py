@@ -144,7 +144,7 @@ class ConfigAPICheck:
         # Forward step: config calls on any tainted alias between the
         # definitions and the request are collected.
         taint = ForwardTaint(cfg, seeds)
-        constants = ConstantPropagation(cfg)
+        constants = ctx.cache.constants(method)
         self._scan_method(ctx, request, method, taint, constants, info)
 
         if param_names:
@@ -217,7 +217,7 @@ class ConfigAPICheck:
                             escalate.add(arg.name)
                 if seeds:
                     taint = ForwardTaint(caller_cfg, seeds)
-                    constants = ConstantPropagation(caller_cfg)
+                    constants = ctx.cache.constants(caller)
                     self._scan_method(ctx, request, caller, taint, constants, info)
                 fresh = {
                     name for name in escalate if (edge.caller, name) not in visited
@@ -266,7 +266,7 @@ class ConfigAPICheck:
                     # treat it as tainted throughout the caller.
                     arg_seeds = {(-1, arg.name)}
                 taint = ForwardTaint(caller_cfg, arg_seeds)
-                constants = ConstantPropagation(caller_cfg)
+                constants = ctx.cache.constants(caller)
                 self._scan_method(ctx, request, caller, taint, constants, info)
 
     def _scan_method(
@@ -374,7 +374,7 @@ class ConfigAPICheck:
             if id(method) in scanned:
                 continue
             scanned.add(id(method))
-            constants = ConstantPropagation(ctx.cache.cfg(method))
+            constants = ctx.cache.constants(method)
             self._scan_method(ctx, request, method, None, constants, info)
 
     def _record_values(

@@ -92,7 +92,7 @@ class NetworkSwitchCheck:
                 if not invoke.args:
                     continue
                 if constants is None:
-                    constants = ConstantPropagation(ctx.cache.cfg(method))
+                    constants = ctx.cache.constants(method)
                 value = constants.constant_argument(idx, invoke.args[0])
                 if value is True or value is None:  # unknown: assume enabled
                     return True

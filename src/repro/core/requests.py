@@ -186,7 +186,7 @@ def _volley_method(ctx, request, cfg, defuse) -> HttpMethod:
     if config is None:
         return HttpMethod.ANY
     origins = trace_origins(cfg, request.stmt_index, config.name, defuse)
-    constants = ConstantPropagation(cfg)
+    constants = ctx.cache.constants(request.method)
     for origin in origins:
         if origin < 0:
             continue
@@ -226,7 +226,7 @@ def _urlconnection_method(ctx, request, cfg) -> HttpMethod:
     receiver = request.invoke.base
     if receiver is None:
         return HttpMethod.ANY
-    constants = ConstantPropagation(cfg)
+    constants = ctx.cache.constants(request.method)
     for idx, invoke in request.method.invoke_sites():
         if invoke.sig.name != "setRequestMethod" or invoke.base != receiver:
             continue

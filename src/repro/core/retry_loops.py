@@ -141,7 +141,7 @@ def _loops_in_method(
                 loop,
                 all_sites,
                 kind,
-                has_backoff=_has_backoff(cfg, method, loop),
+                has_backoff=_has_backoff(ctx, cfg, method, loop),
                 retried_callees=tuple(
                     (c.class_name, c.name, c.sig.arity) for _, c in callees_in_loop
                 ),
@@ -248,7 +248,7 @@ def _reachable_within_loop(
     return False
 
 
-def _has_backoff(cfg: CFG, method: IRMethod, loop: Loop) -> bool:
+def _has_backoff(ctx, cfg: CFG, method: IRMethod, loop: Loop) -> bool:
     """A loop backs off when it delays between attempts with a non-constant
     (growing) interval, or a fixed interval that is not aggressive."""
     constants: Optional[ConstantPropagation] = None
@@ -261,7 +261,7 @@ def _has_backoff(cfg: CFG, method: IRMethod, loop: Loop) -> bool:
         if not invoke.args:
             return True
         if constants is None:
-            constants = ConstantPropagation(cfg)
+            constants = ctx.cache.constants(method)
         delay = constants.constant_argument(idx, invoke.args[0])
         if delay is None or delay is TOP:
             return True  # non-constant delay: assume growing backoff

@@ -65,11 +65,44 @@ class DataflowAnalysis(Generic[State]):
         else:
             start, inputs, outputs = cfg.exit, cfg.succs, cfg.preds
 
+        # Acyclic CFGs (the common case — most methods are loop-free) reach
+        # the fixed point in a single pass over the nodes in topological
+        # order: every edge advances the statement index, so ascending
+        # order (descending for backward problems) visits each node after
+        # all of its inputs.  No worklist, no re-visits.
+        if cfg.acyclic:
+            # Ill-configured analyses (a must-analysis without a universe)
+            # must still fail at solve() even if no node ends up needing an
+            # initial state on this pass.
+            self.initial(start)
+            in_states, out_states = self.in_states, self.out_states
+            order = cfg.nodes()
+            for node in (order if forward else reversed(order)):
+                if node == start:
+                    state = self.boundary()
+                else:
+                    ins = inputs[node]
+                    if not ins:
+                        state = self.initial(node)
+                    elif len(ins) == 1:
+                        # join of one input is the input itself for every
+                        # lattice; skip the list and the join call.
+                        state = out_states[ins[0]]
+                    else:
+                        state = self.join([out_states[p] for p in ins])
+                in_states[node] = state
+                out_states[node] = self.transfer(node, state)
+            return self
+
         for node in cfg.nodes():
             self.in_states[node] = self.initial(node)
             self.out_states[node] = self.initial(node)
 
-        worklist: deque[int] = deque(cfg.nodes())
+        # Seed in flow order (reverse for backward problems) so most nodes
+        # see their inputs' final states on the first visit.
+        worklist: deque[int] = deque(
+            cfg.nodes() if forward else reversed(cfg.nodes())
+        )
         queued = set(worklist)
         self.in_states[start] = self.boundary()
         self.out_states[start] = self.transfer(start, self.in_states[start])

@@ -2,51 +2,151 @@
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import defaultdict, deque
 
 from ..cfg.graph import CFG
-from .framework import SetAnalysis
 
 #: A definition is ``(local_name, statement_index)``.
 Definition = tuple[str, int]
 
 
-class ReachingDefinitions(SetAnalysis):
-    """Classic may-reaching-definitions over locals."""
+class ReachingDefinitions:
+    """Classic may-reaching-definitions over locals.
+
+    States are integer bitsets over the method's enumerated definitions
+    (the parameter pseudo-defs at index ``-1`` included): join is ``|``,
+    kill is ``& ~mask``, both single C-level int operations — this
+    analysis is built for every method the checks touch, making it the
+    hottest dataflow fixpoint of a scan.  The solver is specialised here
+    rather than using :class:`~repro.dataflow.framework.SetAnalysis`:
+    acyclic CFGs (every edge advances the statement index) are solved in
+    one ascending pass, cyclic ones with a worklist.
+    """
 
     direction = "forward"
     must = False
 
     def __init__(self, cfg: CFG) -> None:
-        super().__init__(cfg)
-        self._defs_at: dict[int, frozenset[Definition]] = {}
-        self._kills_at: dict[int, frozenset[str]] = {}
-        for idx, stmt in enumerate(cfg.method.statements):
-            defined = stmt.defs()
-            self._defs_at[idx] = frozenset((d.name, idx) for d in defined)
-            self._kills_at[idx] = frozenset(d.name for d in defined)
-        self.solve()
+        self.cfg = cfg
+        method = cfg.method
+        defs: list[Definition] = []
+        bit_of: dict[Definition, int] = {}
+        name_mask: dict[str, int] = {}
+
+        param_names = [p.name for p in method.params]
+        if not method.is_static:
+            param_names.append("this")
+        boundary_mask = 0
+        for name in param_names:
+            definition = (name, -1)
+            bit = bit_of[definition] = len(defs)
+            defs.append(definition)
+            boundary_mask |= 1 << bit
+
+        gen_mask: dict[int, int] = {}
+        for idx, stmt in enumerate(method.statements):
+            mask = 0
+            for local in stmt.defs():
+                definition = (local.name, idx)
+                bit = bit_of.get(definition)
+                if bit is None:
+                    bit = bit_of[definition] = len(defs)
+                    defs.append(definition)
+                mask |= 1 << bit
+            if mask:
+                gen_mask[idx] = mask
+        for (name, _idx), bit in bit_of.items():
+            name_mask[name] = name_mask.get(name, 0) | (1 << bit)
+        kill_mask: dict[int, int] = {
+            idx: _union_name_masks(name_mask, defs, mask)
+            for idx, mask in gen_mask.items()
+        }
+
+        self._defs = defs
+        self._name_mask = name_mask
+        self._gen_mask = gen_mask
+        self._kill_mask = kill_mask
+        self._boundary_mask = boundary_mask
+        self._in: list[int] = [0] * cfg.node_count
+        self._solve()
+
+    def _transfer(self, node: int, state: int) -> int:
+        gen = self._gen_mask.get(node)
+        if gen is None:
+            return state
+        return (state & ~self._kill_mask[node]) | gen
+
+    def _solve(self) -> None:
+        cfg = self.cfg
+        entry = cfg.entry
+        preds = cfg.preds
+        in_states = self._in
+        out_states = [0] * cfg.node_count
+        if cfg.acyclic:
+            for node in range(cfg.node_count):
+                if node == entry:
+                    state = self._boundary_mask
+                else:
+                    state = 0
+                    for pred in preds[node]:
+                        state |= out_states[pred]
+                in_states[node] = state
+                out_states[node] = self._transfer(node, state)
+            return
+        succs = cfg.succs
+        worklist: deque[int] = deque(range(cfg.node_count))
+        queued = set(worklist)
+        in_states[entry] = self._boundary_mask
+        out_states[entry] = self._transfer(entry, self._boundary_mask)
+        while worklist:
+            node = worklist.popleft()
+            queued.discard(node)
+            if node != entry:
+                state = 0
+                for pred in preds[node]:
+                    state |= out_states[pred]
+                in_states[node] = state
+            new_out = self._transfer(node, in_states[node])
+            if new_out != out_states[node] or node == entry:
+                out_states[node] = new_out
+                for nxt in succs[node]:
+                    if nxt not in queued:
+                        queued.add(nxt)
+                        worklist.append(nxt)
+
+    # -- queries -------------------------------------------------------------
 
     def boundary(self) -> frozenset:
-        # Parameters (and `this`) are defined at a pseudo-index -1.
-        params = [p.name for p in self.cfg.method.params]
-        if not self.cfg.method.is_static:
-            params.append("this")
-        return frozenset((name, -1) for name in params)
+        return frozenset(
+            self._defs[bit] for bit in _bits(self._boundary_mask)
+        )
 
-    def gen(self, node: int) -> frozenset:
-        return self._defs_at.get(node, frozenset())
-
-    def kill(self, node: int, state: frozenset) -> frozenset:
-        killed = self._kills_at.get(node, frozenset())
-        return frozenset(d for d in state if d[0] in killed)
+    def state_before(self, node: int) -> frozenset:
+        """The fixed-point definition set entering ``node``."""
+        return frozenset(self._defs[bit] for bit in _bits(self._in[node]))
 
     def reaching(self, node: int, local_name: str) -> frozenset[int]:
         """Indices of definitions of ``local_name`` reaching ``node``
         (``-1`` denotes the parameter definition)."""
-        return frozenset(
-            idx for name, idx in self.state_before(node) if name == local_name
-        )
+        mask = self._in[node] & self._name_mask.get(local_name, 0)
+        return frozenset(self._defs[bit][1] for bit in _bits(mask))
+
+
+def _union_name_masks(
+    name_mask: dict[str, int], defs: list[Definition], gen: int
+) -> int:
+    mask = 0
+    for bit in _bits(gen):
+        mask |= name_mask[defs[bit][0]]
+    return mask
+
+
+def _bits(mask: int):
+    """Yield the set bit positions of a non-negative int."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
 
 
 class DefUseChains:
@@ -59,10 +159,11 @@ class DefUseChains:
         self.uses_of_def: dict[int, set[int]] = defaultdict(set)
         #: (use site, local) -> set of def sites
         self.defs_of_use: dict[tuple[int, str], set[int]] = defaultdict(set)
+        rd = self.reaching
         for idx, stmt in enumerate(cfg.method.statements):
-            for local in set(stmt.uses()):
-                def_sites = self.reaching.reaching(idx, local.name)
-                self.defs_of_use[(idx, local.name)] = set(def_sites)
+            for name in {local.name for local in stmt.uses()}:
+                def_sites = set(rd.reaching(idx, name))
+                self.defs_of_use[(idx, name)] = def_sites
                 for site in def_sites:
                     self.uses_of_def[site].add(idx)
 

@@ -46,7 +46,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
-from ..callgraph.scc import condensation_order
+from ..callgraph.scc import condensation_order, condensation_wavefronts
 from ..ir.method import IRMethod
 from ..obs import metrics as obs_metrics
 from ..obs import span
@@ -116,6 +116,7 @@ class SummaryStats:
     """Cheap observability for the cache-effectiveness benchmarks."""
 
     bool_fact_passes: int = 0
+    bool_fact_sccs: int = 0
     params_to_return_computed: int = 0
     params_to_return_hits: int = 0
     config_effects_computed: int = 0
@@ -123,8 +124,54 @@ class SummaryStats:
     widenings: int = 0
 
 
+def _is_broadcast_invoke(invoke: InvokeExpr) -> bool:
+    from ..callgraph.icc import BROADCAST_METHODS
+
+    return invoke.sig.name in BROADCAST_METHODS
+
+
+#: The transitive boolean facts the engine serves: fact name →
+#: (call-site predicate, propagate over all edge kinds?).  Notification
+#: facts propagate over direct edges only — they mirror the legacy callee
+#: descent, which resolved callees by signature, not through async edges.
+BOOL_FACT_SPECS: dict[str, tuple[Callable[[InvokeExpr], bool], bool]] = {
+    "connectivity": (is_connectivity_check, True),
+    "ui": (is_ui_notification, False),
+    "handler": (is_handler_notification, False),
+    "broadcast": (_is_broadcast_invoke, False),
+}
+
+
+@dataclass
+class _BoolFactState:
+    """Memoized state of one transitive boolean fact.
+
+    Holds only data (no predicate callables) so a cached engine stays
+    picklable for the persistent artifact cache; accessors pass the
+    predicate with every query (:data:`BOOL_FACT_SPECS`).
+    """
+
+    all_edge_kinds: bool
+    #: method → fact, for every method in an evaluated SCC.
+    resolved: dict["MethodKey", bool] = field(default_factory=dict)
+    #: SCC indices already folded into ``resolved``.
+    evaluated_sccs: set[int] = field(default_factory=set)
+    #: Every method has an entry (a whole-app build happened).
+    complete: bool = False
+
+
 class SummaryEngine:
-    """Bottom-up, SCC-ordered interprocedural summaries over one app."""
+    """SCC-ordered interprocedural summaries over one app.
+
+    Boolean facts are **demand-driven**: a point query evaluates only the
+    SCCs in the queried method's (edge-kind-filtered) callee cone, in
+    callee-first order, memoizing per-SCC results; whole-app views
+    (``connectivity_methods``) and the ``eager`` ablation evaluate every
+    SCC.  Either way the per-SCC fixpoint is the same, so answers are
+    independent of query order, of eager vs. lazy mode, and of how many
+    wavefront workers (``intra_jobs``) evaluated independent SCCs
+    concurrently.
+    """
 
     def __init__(
         self,
@@ -140,11 +187,18 @@ class SummaryEngine:
         self.cache = cache
         self.stats = SummaryStats()
         self._edge_direct = EDGE_DIRECT
+        #: Ablation toggle (``--eager-summaries``): point queries build
+        #: the whole-app fact map, the pre-demand-driven behavior.
+        self.eager: bool = False
+        #: Wavefront workers for whole-app fact builds and prewarming.
+        #: Purely an execution detail: results, counters, and profile
+        #: shapes are identical for any value (see ``prewarm_bool_facts``).
+        self.intra_jobs: int = 1
         #: SCC condensation of the call graph, computed lazily so an
         #: incremental invalidation (which refreshes edges) can simply
         #: drop it and have the next fact pass recompute the order.
         self._scc_order: Optional[tuple[list, dict]] = None
-        self._bool_facts: dict[str, dict["MethodKey", bool]] = {}
+        self._bool_states: dict[str, _BoolFactState] = {}
         self._ptr: dict["MethodKey", frozenset[int]] = {}
         self._ptr_in_progress: set["MethodKey"] = set()
         self._config: dict[
@@ -188,7 +242,7 @@ class SummaryEngine:
         keys = set(keys)
         obs_metrics().observe("dataflow.invalidation_cone", len(keys))
         self._scc_order = None
-        self._bool_facts.clear()
+        self._bool_states.clear()
         self._widened -= keys
         for key in keys:
             self._ptr.pop(key, None)
@@ -198,78 +252,228 @@ class SummaryEngine:
 
     # -- transitive boolean facts -------------------------------------------
 
-    def _bool_fact_map(
+    def _bool_state(self, name: str, all_edge_kinds: bool) -> _BoolFactState:
+        state = self._bool_states.get(name)
+        if state is None:
+            state = _BoolFactState(all_edge_kinds)
+            self._bool_states[name] = state
+            self.stats.bool_fact_passes += 1
+            obs_metrics().inc("dataflow.bool_fact_passes")
+        return state
+
+    def _callee_keys(self, key: "MethodKey", all_edge_kinds: bool) -> list:
+        if all_edge_kinds:
+            return [e.callee for e in self.graph.callees(key)]
+        edge_direct = self._edge_direct
+        return [
+            e.callee for e in self.graph.callees(key) if e.kind == edge_direct
+        ]
+
+    def _cone_indices(
+        self, state: _BoolFactState, roots: Iterable["MethodKey"]
+    ) -> set[int]:
+        """SCC indices the given roots transitively depend on (through
+        edges of the fact's kind), excluding already-evaluated SCCs."""
+        sccs, position = self._ensure_scc_order()
+        evaluated = state.evaluated_sccs
+        needed: set[int] = set()
+        stack = [
+            idx
+            for idx in (position.get(root) for root in roots)
+            if idx is not None and idx not in evaluated
+        ]
+        while stack:
+            idx = stack.pop()
+            if idx in needed:
+                continue
+            needed.add(idx)
+            for member in sccs[idx]:
+                for callee in self._callee_keys(member, state.all_edge_kinds):
+                    cidx = position.get(callee)
+                    if (
+                        cidx is not None
+                        and cidx != idx
+                        and cidx not in needed
+                        and cidx not in evaluated
+                    ):
+                        stack.append(cidx)
+        return needed
+
+    def _eval_scc_values(
+        self,
+        scc: tuple,
+        predicate: Callable[[InvokeExpr], bool],
+        state: _BoolFactState,
+    ) -> dict["MethodKey", bool]:
+        """One SCC's facts: the local predicate per member, then the
+        within-SCC (boolean-OR, hence fast) fixpoint, pulling callee facts
+        outside the SCC from ``state.resolved``.  Thread-safe given its
+        wavefront contract: every external dependency is resolved before
+        this SCC is scheduled, and ``resolved`` is only written between
+        wavefronts."""
+        values: dict["MethodKey", bool] = {}
+        for key in scc:
+            method = self.graph.methods[key]
+            values[key] = any(
+                predicate(invoke) for _idx, invoke in method.invoke_sites()
+            )
+        resolved = state.resolved
+        all_edge_kinds = state.all_edge_kinds
+        edge_direct = self._edge_direct
+        changed = True
+        while changed:
+            changed = False
+            for key in scc:
+                if values[key]:
+                    continue
+                for edge in self.graph.callees(key):
+                    if not all_edge_kinds and edge.kind != edge_direct:
+                        continue
+                    if values.get(edge.callee, resolved.get(edge.callee, False)):
+                        values[key] = True
+                        changed = True
+                        break
+        return values
+
+    def _resolve_sccs(
+        self,
+        state: _BoolFactState,
+        predicate: Callable[[InvokeExpr], bool],
+        indices: Iterable[int],
+        jobs: Optional[int] = None,
+    ) -> None:
+        """Evaluate the given SCCs callee-first, in topological wavefronts.
+
+        SCCs within one wavefront have no dependencies on each other, so
+        with ``jobs > 1`` they are evaluated on a thread pool; results are
+        merged wavefront-by-wavefront in sorted SCC order, making
+        ``state.resolved`` identical for any worker count.
+        """
+        pending = [i for i in indices if i not in state.evaluated_sccs]
+        if not pending:
+            return
+        sccs, position = self._ensure_scc_order()
+        fronts = condensation_wavefronts(
+            pending,
+            sccs,
+            position,
+            lambda k: self._callee_keys(k, state.all_edge_kinds),
+        )
+        self.stats.bool_fact_sccs += len(pending)
+        obs_metrics().inc("dataflow.bool_fact_sccs", len(pending))
+        jobs = self.intra_jobs if jobs is None else jobs
+        executor = None
+        try:
+            for front in fronts:
+                if jobs > 1 and len(front) > 1:
+                    if executor is None:
+                        from concurrent.futures import ThreadPoolExecutor
+
+                        executor = ThreadPoolExecutor(
+                            max_workers=jobs, thread_name_prefix="nchecker-scc"
+                        )
+                    results = list(
+                        executor.map(
+                            lambda i: self._eval_scc_values(
+                                sccs[i], predicate, state
+                            ),
+                            front,
+                        )
+                    )
+                else:
+                    results = [
+                        self._eval_scc_values(sccs[i], predicate, state)
+                        for i in front
+                    ]
+                for idx, values in zip(front, results):
+                    state.resolved.update(values)
+                    state.evaluated_sccs.add(idx)
+        finally:
+            if executor is not None:
+                executor.shutdown(wait=True)
+
+    def _resolve_full(
+        self, state: _BoolFactState, predicate: Callable[[InvokeExpr], bool]
+    ) -> None:
+        if state.complete:
+            return
+        sccs, _position = self._ensure_scc_order()
+        self._resolve_sccs(state, predicate, range(len(sccs)))
+        state.complete = True
+
+    def _bool_fact(
         self,
         name: str,
         predicate: Callable[[InvokeExpr], bool],
         all_edge_kinds: bool,
-    ) -> dict["MethodKey", bool]:
-        """``method → does it (transitively) contain a matching call site``,
-        computed in one callee-first pass over the SCC condensation.
-
-        ``all_edge_kinds=False`` restricts propagation to direct call
-        edges — the notification facts mirror the legacy callee descent,
-        which resolved callees by signature, not through async edges.
-        """
-        cached = self._bool_facts.get(name)
+        key: "MethodKey",
+    ) -> bool:
+        state = self._bool_state(name, all_edge_kinds)
+        cached = state.resolved.get(key)
         if cached is not None:
             return cached
-        self.stats.bool_fact_passes += 1
-        obs_metrics().inc("dataflow.bool_fact_passes")
-        facts: dict["MethodKey", bool] = {}
-        for scc in self.sccs:
-            values: dict["MethodKey", bool] = {}
-            for key in scc:
-                method = self.graph.methods[key]
-                values[key] = any(
-                    predicate(invoke) for _idx, invoke in method.invoke_sites()
-                )
-            # Pull in facts from callees outside the SCC, then iterate the
-            # within-SCC edges to the (boolean-OR, hence fast) fixpoint.
-            changed = True
-            while changed:
-                changed = False
-                for key in scc:
-                    if values[key]:
-                        continue
-                    for edge in self.graph.callees(key):
-                        if not all_edge_kinds and edge.kind != self._edge_direct:
-                            continue
-                        if values.get(edge.callee, facts.get(edge.callee, False)):
-                            values[key] = True
-                            changed = True
-                            break
-            facts.update(values)
-        self._bool_facts[name] = facts
-        return facts
+        if state.complete or key not in self.graph.methods:
+            return False
+        if self.eager:
+            self._resolve_full(state, predicate)
+        else:
+            # Demand-driven: evaluate only this key's callee cone, on the
+            # querying thread (cones are small; prewarming covers the rest).
+            self._resolve_sccs(
+                state, predicate, self._cone_indices(state, (key,)), jobs=1
+            )
+        return state.resolved.get(key, False)
 
-    def _connectivity_facts(self) -> dict["MethodKey", bool]:
-        return self._bool_fact_map("connectivity", is_connectivity_check, True)
+    def prewarm_bool_facts(
+        self,
+        demands: Iterable[tuple[str, Optional[Iterable["MethodKey"]]]],
+        intra_jobs: Optional[int] = None,
+    ) -> None:
+        """Evaluate the fact cones the planned passes will query.
+
+        ``demands`` pairs a fact name from :data:`BOOL_FACT_SPECS` with
+        the methods whose facts will be demanded (``None`` = whole app,
+        for facts served as whole-app views).  The decomposition into
+        SCC wavefronts is the same for every ``intra_jobs`` value — the
+        worker count only chooses how many independent SCCs of one
+        wavefront evaluate concurrently — so deterministic counters and
+        results do not depend on it.  Queries the prewarm did not cover
+        simply fall back to lazy evaluation.
+        """
+        if intra_jobs is not None:
+            self.intra_jobs = intra_jobs
+        for name, roots in demands:
+            predicate, all_edge_kinds = BOOL_FACT_SPECS[name]
+            state = self._bool_state(name, all_edge_kinds)
+            if state.complete:
+                continue
+            if roots is None or self.eager:
+                self._resolve_full(state, predicate)
+            else:
+                self._resolve_sccs(
+                    state, predicate, self._cone_indices(state, roots)
+                )
 
     def performs_connectivity_check(self, key: "MethodKey") -> bool:
-        return self._connectivity_facts().get(key, False)
+        return self._bool_fact("connectivity", is_connectivity_check, True, key)
 
     def connectivity_methods(self) -> set["MethodKey"]:
         """All methods that transitively perform a connectivity check —
         the memoized replacement for the connectivity check's private
-        callers-of fixpoint (`core/checks/base.py:methods_invoking`)."""
-        return {k for k, v in self._connectivity_facts().items() if v}
+        callers-of fixpoint (`core/checks/base.py:methods_invoking`).
+        A whole-app view, so it always resolves every SCC."""
+        state = self._bool_state("connectivity", True)
+        self._resolve_full(state, is_connectivity_check)
+        return {k for k, v in state.resolved.items() if v}
 
     def notifies_ui(self, key: "MethodKey") -> bool:
-        facts = self._bool_fact_map("ui", is_ui_notification, False)
-        return facts.get(key, False)
+        return self._bool_fact("ui", is_ui_notification, False, key)
 
     def notifies_via_handler(self, key: "MethodKey") -> bool:
-        facts = self._bool_fact_map("handler", is_handler_notification, False)
-        return facts.get(key, False)
+        return self._bool_fact("handler", is_handler_notification, False, key)
 
     def sends_broadcast(self, key: "MethodKey") -> bool:
-        from ..callgraph.icc import BROADCAST_METHODS
-
-        facts = self._bool_fact_map(
-            "broadcast", lambda inv: inv.sig.name in BROADCAST_METHODS, False
-        )
-        return facts.get(key, False)
+        return self._bool_fact("broadcast", _is_broadcast_invoke, False, key)
 
     # -- parameter → return transfer ----------------------------------------
 
@@ -431,7 +635,7 @@ class SummaryEngine:
             if found is not None:
                 lib, config = found
                 if constants is None:
-                    constants = ConstantPropagation(cfg)
+                    constants = self.cache.constants(method)
                 values = config_call_values(
                     method, idx, invoke, config, cfg, defuse, constants
                 )

@@ -9,7 +9,7 @@ from .method import IRMethod
 from .values import FieldSig, OBJECT
 
 
-@dataclass
+@dataclass(slots=True)
 class IRClass:
     """A class (or interface) definition.
 
@@ -64,19 +64,27 @@ class ClassHierarchy:
     framework hierarchy they care about, e.g. ``Activity <: Context``).
     """
 
+    __slots__ = ("_classes", "_external_supers", "_supertypes_cache")
+
     def __init__(self) -> None:
         self._classes: dict[str, IRClass] = {}
         self._external_supers: dict[str, set[str]] = {}
+        #: Memoized transitive supertype sets; any edge change (a new
+        #: class or external edge) drops the whole memo — both are rare
+        #: setup-time events, while subtype queries run on every scan.
+        self._supertypes_cache: dict[str, set[str]] = {}
 
     def add_class(self, cls: IRClass) -> None:
         if cls.name in self._classes:
             raise ValueError(f"duplicate class {cls.name}")
         self._classes[cls.name] = cls
+        self._supertypes_cache.clear()
 
     def add_external_edge(self, subclass: str, superclass: str) -> None:
         """Register a supertype edge for a class outside the application
         (used to model the Android framework hierarchy)."""
         self._external_supers.setdefault(subclass, set()).add(superclass)
+        self._supertypes_cache.clear()
 
     def get(self, name: str) -> Optional[IRClass]:
         return self._classes.get(name)
@@ -92,7 +100,11 @@ class ClassHierarchy:
 
     def supertypes(self, name: str) -> set[str]:
         """All transitive supertypes of ``name`` (classes and interfaces),
-        excluding ``name`` itself."""
+        excluding ``name`` itself.  Memoized; callers must not mutate the
+        returned set."""
+        cached = self._supertypes_cache.get(name)
+        if cached is not None:
+            return cached
         seen: set[str] = set()
         frontier = [name]
         while frontier:
@@ -108,6 +120,7 @@ class ClassHierarchy:
                 if parent not in seen:
                     seen.add(parent)
                     frontier.append(parent)
+        self._supertypes_cache[name] = seen
         return seen
 
     def is_subtype(self, name: str, supertype: str) -> bool:

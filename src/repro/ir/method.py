@@ -9,7 +9,7 @@ from .statements import GotoStmt, IfStmt, ReturnStmt, Stmt, ThrowStmt
 from .values import InvokeExpr, Local, MethodSig, THROWABLE
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Trap:
     """A protected region: statements in ``[begin, end)`` (by label) whose
     exceptions of ``exc_type`` are routed to the handler at ``handler``.
@@ -32,6 +32,18 @@ class IRMethod:
     name to the index of the statement it precedes.
     """
 
+    __slots__ = (
+        "sig",
+        "params",
+        "statements",
+        "labels",
+        "traps",
+        "is_static",
+        "modifiers",
+        "_cached_key",
+        "_validated",
+    )
+
     def __init__(
         self,
         sig: MethodSig,
@@ -49,6 +61,15 @@ class IRMethod:
         self.traps = list(traps or [])
         self.is_static = is_static
         self.modifiers = modifiers
+        # Interned (class, name, arity) key; the signature is immutable
+        # (the patcher mutates bodies, never signatures), so the key is
+        # computed once and shared by every call-graph/artifact lookup.
+        self._cached_key: Optional[tuple[str, str, int]] = None
+        # Set by validate() on success.  Calling validate() always runs
+        # the full structural check (mutators re-validate explicitly after
+        # editing a body); the flag lets *consumers* — APK validation and
+        # CFG construction — skip re-checking an unchanged body.
+        self._validated = False
 
     # ------------------------------------------------------------------
     # Introspection helpers used pervasively by the analyses.
@@ -133,6 +154,7 @@ class IRMethod:
                 f"{self.sig.qualified_name}: control falls off the end of the "
                 f"body (last statement is {last})"
             )
+        self._validated = True
 
     def __repr__(self) -> str:
         return f"<IRMethod {self.sig} ({len(self.statements)} stmts)>"

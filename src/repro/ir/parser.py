@@ -73,6 +73,20 @@ _TRAP_RE = re.compile(
     r"^trap\s+(?P<exc>[\w$.]+)\s+from\s+(?P<begin>[\w$]+)\s+to\s+(?P<end>[\w$]+)"
     r"\s+using\s+(?P<handler>[\w$]+)$"
 )
+_ASSIGN_RE = re.compile(r"^[A-Za-z_$][\w$]* = ")
+_IF_RE = re.compile(r"^if\s+(\S+)\s+(==|!=|<=|>=|<|>)\s+(\S+)\s+goto\s+([\w$]+)$")
+#: Longest-operator-first separators for the binary-expression scan.
+_BINARY_SEPS = tuple(
+    (f" {op} ", op)
+    for op in sorted(BINARY_OPS, key=len, reverse=True)
+)
+
+
+#: Memoized comment stripping: invoke lines all contain ``#`` (the callee
+#: separator) and so take the scanning path, but raw lines recur heavily
+#: across methods and apps, making a bounded text→text cache profitable.
+_STRIP_CACHE: dict[str, str] = {}
+_STRIP_CACHE_MAX = 65536
 
 
 def _strip_comment(line: str) -> str:
@@ -83,6 +97,29 @@ def _strip_comment(line: str) -> str:
     character following the hash is an identifier character and the line
     starts with/contains ``invoke``.
     """
+    if "#" not in line:
+        return line.strip()
+    cached = _STRIP_CACHE.get(line)
+    if cached is None:
+        cached = _strip_comment_uncached(line)
+        if len(_STRIP_CACHE) < _STRIP_CACHE_MAX:
+            _STRIP_CACHE[line] = cached
+    return cached
+
+
+def _strip_comment_uncached(line: str) -> str:
+    if "'" not in line:
+        # No string literals on the line: every hash is either a callee
+        # separator (identifier character follows) or starts the comment.
+        start = 0
+        while True:
+            i = line.find("#", start)
+            if i < 0:
+                return line.strip()
+            nxt = line[i + 1] if i + 1 < len(line) else " "
+            if not (nxt.isalnum() or nxt in "_$<"):
+                return line[:i].strip()
+            start = i + 1
     out = []
     in_str = False
     i = 0
@@ -120,8 +157,16 @@ def _split_args(text: str) -> list[str]:
     return parts
 
 
-def parse_atom(token: str, line_no: int = 0) -> Value:
-    token = token.strip()
+#: Interned atoms: ``parse_atom`` is a pure function of the token text,
+#: and both :class:`Const` and :class:`Local` are frozen, so recurring
+#: tokens (``v0``, ``this``, ``0``, ``null``...) share one value object
+#: across methods and apps instead of allocating per occurrence.  Bounded
+#: so a pathological corpus of distinct literals cannot grow it forever.
+_ATOM_CACHE: dict[str, Value] = {}
+_ATOM_CACHE_MAX = 65536
+
+
+def _parse_atom_uncached(token: str, line_no: int) -> Value:
     if token == "null":
         return Const(None)
     if token == "true":
@@ -134,9 +179,19 @@ def parse_atom(token: str, line_no: int = 0) -> Value:
         return Const(float(token))
     if token.startswith("'") and token.endswith("'") and len(token) >= 2:
         return Const(token[1:-1])
-    if _IDENT_RE.match(token) and "." not in token:
+    if "." not in token and _IDENT_RE.match(token):
         return Local(token)
     raise ParseError(f"cannot parse atom {token!r}", line_no)
+
+
+def parse_atom(token: str, line_no: int = 0) -> Value:
+    token = token.strip()
+    value = _ATOM_CACHE.get(token)
+    if value is None:
+        value = _parse_atom_uncached(token, line_no)
+        if len(_ATOM_CACHE) < _ATOM_CACHE_MAX:
+            _ATOM_CACHE[token] = value
+    return value
 
 
 def _parse_invoke(text: str, line_no: int) -> InvokeExpr:
@@ -172,106 +227,193 @@ def _parse_invoke(text: str, line_no: int) -> InvokeExpr:
         raise ParseError(str(exc), line_no, text) from None
 
 
+def _rhs_new(text: str, line_no: int) -> Value:
+    return NewExpr(text[4:].strip())
+
+
+def _rhs_newarray(text: str, line_no: int) -> Value:
+    _, elem, size = text.split(None, 2)
+    return NewArrayExpr(elem, parse_atom(size, line_no))
+
+
+def _rhs_getstatic(text: str, line_no: int) -> Value:
+    qualified = text[len("getstatic "):].strip()
+    cls, _, name = qualified.rpartition(".")
+    return FieldRef(None, FieldSig(cls, name))
+
+
+def _rhs_getfield(text: str, line_no: int) -> Value:
+    _, base, qualified = text.split(None, 2)
+    cls, _, name = qualified.rpartition(".")
+    return FieldRef(Local(base), FieldSig(cls, name))
+
+
+def _rhs_aload(text: str, line_no: int) -> Value:
+    _, base, index = text.split(None, 2)
+    return ArrayRef(Local(base), parse_atom(index, line_no))
+
+
+def _rhs_cast(text: str, line_no: int) -> Value:
+    _, type_name, value = text.split(None, 2)
+    return CastExpr(type_name, parse_atom(value, line_no))
+
+
+def _rhs_unary(text: str, line_no: int) -> Value:
+    op, operand = text.split(None, 1)
+    return UnaryExpr(op, parse_atom(operand, line_no))
+
+
+def _rhs_lengthof(text: str, line_no: int) -> Value:
+    return LengthExpr(parse_atom(text[len("lengthof "):], line_no))
+
+
+def _rhs_catch(text: str, line_no: int) -> Value:
+    return CaughtExceptionExpr(text[len("catch "):].strip())
+
+
+#: Right-hand-side dispatch keyed on the leading token (the text up to the
+#: first space) — replaces the former ``str.startswith`` chain.
+_RHS_DISPATCH = {
+    "new": _rhs_new,
+    "newarray": _rhs_newarray,
+    "invoke": _parse_invoke,
+    "getstatic": _rhs_getstatic,
+    "getfield": _rhs_getfield,
+    "aload": _rhs_aload,
+    "cast": _rhs_cast,
+    "neg": _rhs_unary,
+    "not": _rhs_unary,
+    "lengthof": _rhs_lengthof,
+    "catch": _rhs_catch,
+}
+
+
 def _parse_rhs(text: str, line_no: int) -> Value:
     text = text.strip()
-    if text.startswith("new "):
-        return NewExpr(text[4:].strip())
-    if text.startswith("newarray "):
-        _, elem, size = text.split(None, 2)
-        return NewArrayExpr(elem, parse_atom(size, line_no))
-    if text.startswith("invoke "):
-        return _parse_invoke(text, line_no)
-    if text.startswith("getstatic "):
-        qualified = text[len("getstatic "):].strip()
-        cls, _, name = qualified.rpartition(".")
-        return FieldRef(None, FieldSig(cls, name))
-    if text.startswith("getfield "):
-        _, base, qualified = text.split(None, 2)
-        cls, _, name = qualified.rpartition(".")
-        return FieldRef(Local(base), FieldSig(cls, name))
-    if text.startswith("aload "):
-        _, base, index = text.split(None, 2)
-        return ArrayRef(Local(base), parse_atom(index, line_no))
-    if text.startswith("cast "):
-        _, type_name, value = text.split(None, 2)
-        return CastExpr(type_name, parse_atom(value, line_no))
-    if text.startswith(("neg ", "not ")):
-        op, operand = text.split(None, 1)
-        return UnaryExpr(op, parse_atom(operand, line_no))
-    if text.startswith("lengthof "):
-        return LengthExpr(parse_atom(text[len("lengthof "):], line_no))
-    if text.startswith("catch "):
-        return CaughtExceptionExpr(text[len("catch "):].strip())
+    head, sep, _rest = text.partition(" ")
+    if sep:
+        handler = _RHS_DISPATCH.get(head)
+        if handler is not None:
+            return handler(text, line_no)
     if " instanceof " in text:
         value, type_name = text.split(" instanceof ", 1)
         return InstanceOfExpr(parse_atom(value, line_no), type_name.strip())
     # Binary expression: "a OP b" with a single space-separated operator.
     # String constants never contain spaces around operators in our corpus,
     # but guard against splitting inside quotes anyway.
-    if not (text.startswith("'") and text.endswith("'")):
-        for op in sorted(BINARY_OPS, key=len, reverse=True):
-            sep = f" {op} "
-            if sep in text:
-                left, right = text.split(sep, 1)
+    if sep and not (text.startswith("'") and text.endswith("'")):
+        for sep_text, op in _BINARY_SEPS:
+            if sep_text in text:
+                left, right = text.split(sep_text, 1)
                 return BinaryExpr(
                     op, parse_atom(left, line_no), parse_atom(right, line_no)
                 )
     return parse_atom(text, line_no)
 
 
+def _stmt_return(line: str, line_no: int) -> Stmt:
+    return ReturnStmt(parse_atom(line[7:], line_no))
+
+
+def _stmt_throw(line: str, line_no: int) -> Stmt:
+    return ThrowStmt(parse_atom(line[6:], line_no))
+
+
+def _stmt_goto(line: str, line_no: int) -> Stmt:
+    return GotoStmt(line[5:].strip())
+
+
+def _stmt_if(line: str, line_no: int) -> Stmt:
+    match = _IF_RE.match(line)
+    if match is None:
+        raise ParseError("malformed if", line_no, line)
+    left, op, right, target = match.groups()
+    if op not in COND_OPS:
+        raise ParseError(f"unknown condition operator {op!r}", line_no)
+    return IfStmt(
+        ConditionExpr(op, parse_atom(left, line_no), parse_atom(right, line_no)),
+        target,
+    )
+
+
+def _stmt_invoke(line: str, line_no: int) -> Stmt:
+    return InvokeStmt(_parse_invoke(line, line_no))
+
+
+def _stmt_putfield(line: str, line_no: int) -> Stmt:
+    head, rhs = line.split(" = ", 1)
+    _, base, qualified = head.split(None, 2)
+    cls, _, name = qualified.rpartition(".")
+    return AssignStmt(
+        FieldRef(Local(base), FieldSig(cls, name)), parse_atom(rhs, line_no)
+    )
+
+
+def _stmt_putstatic(line: str, line_no: int) -> Stmt:
+    head, rhs = line.split(" = ", 1)
+    qualified = head[len("putstatic "):].strip()
+    cls, _, name = qualified.rpartition(".")
+    return AssignStmt(FieldRef(None, FieldSig(cls, name)), parse_atom(rhs, line_no))
+
+
+def _stmt_astore(line: str, line_no: int) -> Stmt:
+    head, rhs = line.split(" = ", 1)
+    _, base, index = head.split(None, 2)
+    return AssignStmt(
+        ArrayRef(Local(base), parse_atom(index, line_no)),
+        parse_atom(rhs, line_no),
+    )
+
+
+#: Statement dispatch keyed on the leading token.  Only consulted after
+#: the bare-local assignment test, so keyword-named locals still parse.
+_STMT_DISPATCH = {
+    "return": _stmt_return,
+    "throw": _stmt_throw,
+    "goto": _stmt_goto,
+    "if": _stmt_if,
+    "invoke": _stmt_invoke,
+    "putfield": _stmt_putfield,
+    "putstatic": _stmt_putstatic,
+    "astore": _stmt_astore,
+}
+
+
+#: Interned statements: every :class:`Stmt` subclass is a frozen dataclass
+#: over frozen values, and parsing is a pure function of the (stripped)
+#: line text, so recurring lines — bare ``return``, common invokes, field
+#: loads — share one statement object across methods and apps.  Bounded
+#: like the atom cache.
+_STMT_CACHE: dict[str, Stmt] = {}
+_STMT_CACHE_MAX = 65536
+
+
 def parse_stmt(line: str, line_no: int = 0) -> Stmt:
     """Parse one statement line (label lines are handled by the caller)."""
+    stmt = _STMT_CACHE.get(line)
+    if stmt is None:
+        stmt = _parse_stmt_uncached(line, line_no)
+        if len(_STMT_CACHE) < _STMT_CACHE_MAX:
+            _STMT_CACHE[line] = stmt
+    return stmt
+
+
+def _parse_stmt_uncached(line: str, line_no: int) -> Stmt:
     # Bare-local assignment wins over keyword dispatch: locals may shadow
     # statement keywords ("if = 0"), and no keyword statement ever has
     # "=" as its second token, so "<ident> = rhs" is unambiguous.
-    assign = re.match(r"^[A-Za-z_$][\w$]* = ", line)
-    if assign is not None:
+    if _ASSIGN_RE.match(line) is not None:
         target, rhs = line.split(" = ", 1)
         return AssignStmt(Local(target), _parse_rhs(rhs, line_no))
     if line == "nop":
         return NopStmt()
     if line == "return":
         return ReturnStmt()
-    if line.startswith("return "):
-        return ReturnStmt(parse_atom(line[7:], line_no))
-    if line.startswith("throw "):
-        return ThrowStmt(parse_atom(line[6:], line_no))
-    if line.startswith("goto "):
-        return GotoStmt(line[5:].strip())
-    if line.startswith("if "):
-        match = re.match(
-            r"^if\s+(\S+)\s+(==|!=|<=|>=|<|>)\s+(\S+)\s+goto\s+([\w$]+)$", line
-        )
-        if match is None:
-            raise ParseError("malformed if", line_no, line)
-        left, op, right, target = match.groups()
-        if op not in COND_OPS:
-            raise ParseError(f"unknown condition operator {op!r}", line_no)
-        return IfStmt(
-            ConditionExpr(op, parse_atom(left, line_no), parse_atom(right, line_no)),
-            target,
-        )
-    if line.startswith("invoke "):
-        return InvokeStmt(_parse_invoke(line, line_no))
-    if line.startswith("putfield "):
-        head, rhs = line.split(" = ", 1)
-        _, base, qualified = head.split(None, 2)
-        cls, _, name = qualified.rpartition(".")
-        return AssignStmt(
-            FieldRef(Local(base), FieldSig(cls, name)), parse_atom(rhs, line_no)
-        )
-    if line.startswith("putstatic "):
-        head, rhs = line.split(" = ", 1)
-        qualified = head[len("putstatic "):].strip()
-        cls, _, name = qualified.rpartition(".")
-        return AssignStmt(FieldRef(None, FieldSig(cls, name)), parse_atom(rhs, line_no))
-    if line.startswith("astore "):
-        head, rhs = line.split(" = ", 1)
-        _, base, index = head.split(None, 2)
-        return AssignStmt(
-            ArrayRef(Local(base), parse_atom(index, line_no)),
-            parse_atom(rhs, line_no),
-        )
+    head, sep, _rest = line.partition(" ")
+    if sep:
+        handler = _STMT_DISPATCH.get(head)
+        if handler is not None:
+            return handler(line, line_no)
     if " = " in line:
         target, rhs = line.split(" = ", 1)
         target = target.strip()

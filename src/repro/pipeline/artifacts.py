@@ -145,9 +145,11 @@ class ArtifactStore:
         self.metrics = MetricsRegistry()
         self._global = active_metrics()
         self.counters = ArtifactCounters(self.metrics)
+        self._counter_pairs: dict[str, tuple] = {}
         self._app: dict[str, object] = {}
         self._cfgs: dict[MethodKey, "CFGGraph"] = {}
         self._defuse: dict[MethodKey, "DefUseChains"] = {}
+        self._constants: dict[MethodKey, object] = {}
         self._context: Optional["AnalysisContext"] = None
         self._builders = {
             CALLGRAPH.name: self._build_callgraph,
@@ -162,10 +164,26 @@ class ArtifactStore:
 
     def _count(self, name: str, n: int = 1) -> None:
         """Bump a counter in the store-local registry and, when distinct,
-        the active global one (so ``--metrics`` snapshots include it)."""
-        self.metrics.counter(name).inc(n)
-        if self._global is not self.metrics:
-            self._global.counter(name).inc(n)
+        the active global one (so ``--metrics`` snapshots include it).
+
+        Counter objects are resolved once per name: cache-hit accounting
+        runs on every cfg/defuse/constants access, and the two name
+        lookups per bump were measurable on cold scans.
+        """
+        pair = self._counter_pairs.get(name)
+        if pair is None:
+            local = self.metrics.counter(name)
+            shared = (
+                self._global.counter(name)
+                if self._global is not self.metrics
+                else None
+            )
+            pair = (local, shared)
+            self._counter_pairs[name] = pair
+        local, shared = pair
+        local.inc(n)
+        if shared is not None:
+            shared.inc(n)
 
     def _observe(self, name: str, value: float) -> None:
         self.metrics.observe(name, value)
@@ -300,6 +318,26 @@ class ArtifactStore:
         self._defuse[key] = built
         return built
 
+    def constants(self, method):
+        """The solved constant-propagation fixpoint for ``method`` — a
+        pure per-method analysis shared by the config, retry, and request
+        extraction passes."""
+        key = method_key(method)
+        cached = self._constants.get(key)
+        if cached is not None:
+            self._count("artifact.constants.hits")
+            return cached
+        from ..dataflow.constants import ConstantPropagation
+
+        self._count("artifact.constants.builds")
+        cfg = self.cfg(method)
+        start = time.perf_counter()
+        built = ConstantPropagation(cfg)
+        self._observe("artifact.constants.build_ms",
+                      (time.perf_counter() - start) * 1000.0)
+        self._constants[key] = built
+        return built
+
     # -- invalidation --------------------------------------------------------
 
     def invalidate_methods(self, touched: "set[MethodKey] | frozenset[MethodKey]") -> None:
@@ -327,6 +365,7 @@ class ArtifactStore:
         for key in touched:
             self._cfgs.pop(key, None)
             self._defuse.pop(key, None)
+            self._constants.pop(key, None)
         graph = self._app.get(CALLGRAPH.name)
         dirty = set(touched)
         if graph is not None:

@@ -42,7 +42,7 @@ if TYPE_CHECKING:
 #: are garbage-collected by ``nchecker cache gc``) instead of crashing.
 #: Folded into both the entry header (:mod:`.codec`) and the local
 #: backend's ``v<N>`` path segment.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2  # v2: __slots__ IR values/statements change pickle shapes
 
 #: NCheckerOptions fields folded into each artifact kind's cache key —
 #: the options subset the artifact's builder reads.  All empty today:
@@ -106,7 +106,11 @@ def scan_options_fingerprint(options: "NCheckerOptions") -> str:
     so ``nchecker bench compare`` never silently diffs runs produced
     under different flags.  Storage-only fields (``cache_dir``,
     ``cache_backend``) are excluded: they can never change scan output,
-    and a live backend instance has no stable repr anyway.  Unordered
+    and a live backend instance has no stable repr anyway.
+    ``intra_jobs`` is likewise excluded — it only picks how many threads
+    evaluate one wavefront's independent SCCs, with results, counters,
+    and profile shapes identical for any value.  (``eager_summaries``
+    *is* folded in: it changes work-volume counters.)  Unordered
     collections are sorted before hashing so the digest is stable across
     interpreter hash seeds.
     """
@@ -115,7 +119,7 @@ def scan_options_fingerprint(options: "NCheckerOptions") -> str:
     h = hashlib.blake2b(digest_size=12)
     h.update(f"fmt{CACHE_FORMAT_VERSION};lib{LIBMODELS_VERSION}".encode())
     for field in dataclasses.fields(options):
-        if field.name in ("cache_dir", "cache_backend"):
+        if field.name in ("cache_dir", "cache_backend", "intra_jobs"):
             continue
         value = getattr(options, field.name)
         if isinstance(value, (set, frozenset)):

@@ -179,6 +179,10 @@ class ScanSession:
                 store.get(RETRY_LOOPS) if plan.builds(RETRY_LOOPS) else []
             )
             ctx.retry_loops = retry_loops
+            if ctx.summaries is not None:
+                self._prewarm_summaries(
+                    ctx, scheduled, requests, notification_check
+                )
 
             findings: list[Finding] = []
             for scheduled_pass in order_passes(scheduled):
@@ -211,6 +215,54 @@ class ScanSession:
             config_info=dict(config_check.info_by_request),
             notification_info=dict(notification_check.info_by_request),
         )
+
+    def _prewarm_summaries(
+        self, ctx, scheduled, requests, notification_check
+    ) -> None:
+        """Evaluate the summary-fact cones the planned passes will query,
+        before the pass loop runs them.
+
+        The demands mirror the passes' actual queries: the connectivity
+        and offline-cache passes read the whole-app connectivity view,
+        and the failure-notification pass queries UI/handler (and, with
+        displayed broadcasts in the ICC model, broadcast) facts on the
+        error callbacks registered at request sites.  The decomposition
+        into SCC wavefronts is identical for every ``intra_jobs`` value —
+        the worker count only chooses how many independent SCCs of one
+        wavefront evaluate concurrently — so counters and profile trees
+        never depend on it.  Queries the prewarm did not anticipate fall
+        back to lazy point evaluation inside the engine.
+        """
+        from ..callgraph.cha import EDGE_LIB_CALLBACK
+
+        opts = self.options
+        engine = ctx.summaries
+        engine.eager = opts.eager_summaries
+        engine.intra_jobs = max(1, opts.intra_jobs)
+        planned = {scheduled_pass.name for scheduled_pass in scheduled}
+        demands: list = []
+        if planned & {"connectivity", "offline-cache"}:
+            demands.append(("connectivity", None))
+        if "failure-notification" in planned:
+            roots = sorted(
+                {
+                    edge.callee
+                    for request in requests
+                    for edge in ctx.callgraph.callees(request.key)
+                    if edge.stmt_index == request.stmt_index
+                    and edge.kind == EDGE_LIB_CALLBACK
+                }
+            )
+            if roots:
+                demands.append(("ui", roots))
+                demands.append(("handler", roots))
+                icc = notification_check.icc_model
+                if icc is not None and icc.broadcasts_displayed:
+                    demands.append(("broadcast", roots))
+        registry = metrics()
+        with span("summary-prewarm", package=self.apk.package):
+            with registry.timer("summaries.prewarm_ms"):
+                engine.prewarm_bool_facts(demands)
 
     # -- persistent cache ----------------------------------------------------
 
