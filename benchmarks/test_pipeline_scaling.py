@@ -1,7 +1,7 @@
-"""Pipeline benchmarks: batch-scan scaling, disk-cache warm starts, and
-incremental patcher convergence.
+"""Pipeline benchmarks: batch-scan scaling, disk-cache warm starts,
+service throughput, and incremental patcher convergence.
 
-Three claims from the pipeline work, measured:
+Four claims from the pipeline work, measured:
 
 * ``scan --jobs N`` fans whole apps across worker processes with
   *identical* results — the speedup is bounded by the core count, so the
@@ -14,6 +14,9 @@ Three claims from the pipeline work, measured:
   add (timed and asserted separately, since default scans never build
   it) — and the guarantee holds on every backend (``local``,
   ``memory``, ``memory+local``), measured per backend;
+* the ``nchecker serve`` daemon sustains the corpus over HTTP — warm
+  resubmissions and a second host on the ``remote:URL`` cache tier
+  both complete with zero app-scoped artifact builds;
 * the incremental patch loop rebuilds only the dirty region after each
   patch round — asserted via the public metrics snapshot
   (``artifact.cfg.builds`` / ``artifact.invalidated_methods``), not by
@@ -393,6 +396,125 @@ def test_summary_laziness(benchmark):
             f"({lazy_sccs/eager_sccs:.0%} of eager work)"
         )
     _record("summary_laziness", {"n_apps": n_apps, "modes": section})
+
+
+def test_service_throughput(benchmark, tmp_path):
+    """The ``nchecker serve`` daemon under load: submissions/second over
+    a small corpus (cold, then warm on the same daemon), plus a second
+    host completing the same sweep warm through the ``remote:URL`` cache
+    tier with zero app-scoped builds — recorded to the ``service``
+    section of ``BENCH_pipeline.json``."""
+    import urllib.request
+
+    from repro.service import ServiceConfig, start_in_thread
+
+    n_apps = 8
+    workers = 2
+    apps = [apk for apk, _ in CorpusGenerator(PAPER_PROFILE.scaled(n_apps)).generate()]
+    blobs = [dumps_apk(apk) for apk in apps]
+    app_kinds = ("callgraph", "summaries", "requests", "retry-loops", "icc-model")
+
+    handle = start_in_thread(ServiceConfig(
+        port=0, workers=workers, cache_dir=str(tmp_path / "served"),
+    ))
+
+    def get_json(path):
+        with urllib.request.urlopen(handle.base_url + path, timeout=30) as r:
+            return json.loads(r.read())
+
+    def sweep():
+        """Submit every app, poll every job to completion."""
+        ids = []
+        for blob in blobs:
+            request = urllib.request.Request(
+                handle.base_url + "/v1/scans", data=blob.encode(),
+                method="POST", headers={"Content-Type": "text/plain"},
+            )
+            with urllib.request.urlopen(request, timeout=30) as reply:
+                assert reply.status == 202
+                ids.append(json.loads(reply.read())["id"])
+        views = []
+        deadline = time.monotonic() + 120
+        for job_id in ids:
+            while True:
+                view = get_json(f"/v1/scans/{job_id}")
+                if view["status"] in ("done", "failed"):
+                    break
+                assert time.monotonic() < deadline, "service sweep stalled"
+                time.sleep(0.02)
+            assert view["status"] == "done", view.get("error")
+            views.append(view)
+        return views
+
+    def remote_sweep():
+        """A fresh host pointed at the daemon's cache over HTTP."""
+        options = NCheckerOptions(cache_backend=f"remote:{handle.base_url}")
+        with use_metrics() as registry:
+            checker = NChecker(options=options)
+            results = [
+                checker.open_session(loads_apk(blob)).scan() for blob in blobs
+            ]
+            return results, registry.snapshot()
+
+    try:
+        start = time.perf_counter()
+        cold_views = sweep()
+        cold_s = time.perf_counter() - start
+
+        warm_views = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        warm_s = benchmark.stats.stats.mean
+
+        assert [v["package"] for v in cold_views] == [
+            v["package"] for v in warm_views
+        ]
+        assert [v["findings"] for v in cold_views] == [
+            v["findings"] for v in warm_views
+        ]
+        # Warm jobs rebuild nothing app-scoped: either the worker's
+        # session is warm or the shared cache tiers serve every blob.
+        for view in warm_views:
+            for kind in app_kinds:
+                assert view["counters"].get(f"artifact.{kind}.builds", 0) == 0
+
+        start = time.perf_counter()
+        remote_results, remote_snap = remote_sweep()
+        remote_s = time.perf_counter() - start
+        assert _scan_signature(remote_results), "remote sweep scanned nothing"
+        remote_counters = remote_snap["counters"]
+        for kind in app_kinds:
+            assert remote_counters.get(f"artifact.{kind}.builds", 0) == 0, (
+                f"second host rebuilt {kind} despite the remote tier"
+            )
+        assert remote_counters.get("cache.remote.callgraph.hits", 0) == n_apps
+
+        service_counters = get_json("/metrics")["counters"]
+        assert service_counters["service.scans.completed"] == 2 * n_apps
+    finally:
+        handle.stop()
+
+    cold_rps = n_apps / cold_s if cold_s else float("inf")
+    warm_rps = n_apps / warm_s if warm_s else float("inf")
+    print(
+        f"\nservice over {n_apps} apps ({workers} workers): "
+        f"cold {cold_s*1000:.0f} ms ({cold_rps:.1f} scans/s), "
+        f"warm {warm_s*1000:.0f} ms ({warm_rps:.1f} scans/s), "
+        f"remote-tier second host {remote_s*1000:.0f} ms, zero warm builds"
+    )
+    _record("service", {
+        "n_apps": n_apps,
+        "workers": workers,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_scans_per_s": cold_rps,
+        "warm_scans_per_s": warm_rps,
+        "remote_warm_s": remote_s,
+        "warm_app_scoped_builds": 0,
+        "remote_app_scoped_builds": 0,
+        "counters": {
+            name: value for name, value in sorted(service_counters.items())
+            if name.startswith("service.")
+        },
+    })
 
 
 def test_incremental_patcher_convergence(benchmark):

@@ -10,7 +10,9 @@ Subcommands:
 * ``cache stats|gc|clear`` — manage the persistent artifact cache;
 * ``bench record|compare|gate`` — record performance runs into the
   append-only run ledger and gate regressions against a baseline
-  (``docs/BENCHMARKS.md``).
+  (``docs/BENCHMARKS.md``);
+* ``serve`` — run the scan-as-a-service HTTP daemon, including the
+  ``remote:URL`` cache tier's server side (``docs/SERVICE.md``).
 
 Every subcommand and flag is documented in ``docs/CLI.md``
 (``tests/test_docs.py`` asserts the doc covers this parser, so it
@@ -590,6 +592,40 @@ def _load_or_die(path: str):
         raise SystemExit(2)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the scan-as-a-service daemon (``docs/SERVICE.md``) in the
+    foreground until interrupted."""
+    import asyncio
+
+    from .pipeline.cachestore import parse_size
+    from .service import ServiceConfig, serve
+
+    try:
+        max_body = parse_size(args.max_body)
+    except ValueError as exc:
+        print(f"error: --max-body: {exc}", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        rate_limit=args.rate_limit,
+        rate_burst=args.rate_burst,
+        cache_dir=_resolve_cache_dir(args),
+        cache_backend=_resolve_cache_backend(args),
+        extended_checks=args.extended_checks,
+        intra_jobs=args.intra_jobs,
+        eager_summaries=args.eager_summaries,
+        max_body_bytes=max_body,
+    )
+    try:
+        asyncio.run(serve(config))
+    except KeyboardInterrupt:
+        log.info("interrupted; shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The complete ``nchecker`` argument parser.
 
@@ -623,11 +659,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     caching.add_argument(
         "--cache-backend", metavar="SPEC",
-        help="cache backend composition: 'local', 'memory', or a "
-        "fastest-first '+' chain like 'memory+local' (tiers read "
-        "through with promotion and write through); 'local' may carry "
-        "a directory as 'local:DIR', otherwise it uses the resolved "
-        "--cache-dir. See docs/CACHING.md",
+        help="cache backend composition: 'local', 'memory', "
+        "'remote:URL' (a `nchecker serve` daemon's shared cache), or a "
+        "fastest-first '+' chain like 'memory+local' or "
+        "'memory+remote:http://host:8321' (tiers read through with "
+        "promotion and write through); 'local' may carry a directory "
+        "as 'local:DIR', otherwise it uses the resolved --cache-dir. "
+        "See docs/CACHING.md",
     )
     # Summary-engine performance knobs, shared by every command that
     # scans under the summary engine.  Neither can change scan output:
@@ -945,6 +983,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="run-ledger location for the measured run",
     )
     gate.set_defaults(func=_cmd_bench_gate)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the scan-as-a-service HTTP daemon (docs/SERVICE.md)",
+        parents=[common, caching, perf],
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default 127.0.0.1; use 0.0.0.0 to serve "
+        "a fleet)",
+    )
+    serve.add_argument(
+        "--port", type=int, default=8321, metavar="PORT",
+        help="port to bind (default 8321; 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="scan worker processes; each keeps its session cache warm "
+        "across requests (default 2)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="max admitted-but-unfinished scan jobs before submissions "
+        "get 503 (default 64)",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="R",
+        help="sustained scan submissions per second allowed per tenant "
+        "(token-bucket refill rate; default 0 = unlimited)",
+    )
+    serve.add_argument(
+        "--rate-burst", type=int, default=8, metavar="N",
+        help="token-bucket capacity: burst size a tenant may submit "
+        "before --rate-limit applies (default 8)",
+    )
+    serve.add_argument(
+        "--max-body", default="16M", metavar="SIZE",
+        help="largest accepted request body (413 beyond it); sizes like "
+        "16M, 1.5G, or raw bytes (default 16M)",
+    )
+    serve.add_argument(
+        "--no-disk-cache", action="store_true",
+        help="serve without any persistent cache: no /v1/cache blueprint "
+        "and no local tier under the workers (warm sessions only)",
+    )
+    serve.add_argument(
+        "--extended-checks", action="store_true",
+        help="run every scan with the extended-taxonomy checks enabled",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

@@ -12,11 +12,12 @@ so each can evolve (and be replaced) independently:
 * :mod:`~repro.pipeline.cachestore.backend` — the narrow
   :class:`CacheBackend` protocol (``get/put/delete/list_entries/stats``
   plus ``gc/clear`` management) every storage tier implements, with
-  three implementations: :class:`LocalDirBackend` (the on-disk store,
+  four implementations: :class:`LocalDirBackend` (the on-disk store,
   format-compatible with pre-split caches), :class:`MemoryBackend`
-  (process-local), and :class:`TieredBackend` (read-through /
-  write-through composition, e.g. ``memory+local`` today, local over a
-  remote tier next).
+  (process-local), :class:`RemoteBackend` (a ``nchecker serve``
+  daemon's ``/v1/cache`` API over HTTP — the fleet-wide tier), and
+  :class:`TieredBackend` (read-through / write-through composition,
+  e.g. ``memory+local`` or ``memory+remote:URL``).
 
 :class:`CacheStore` (:mod:`~repro.pipeline.cachestore.store`) ties the
 three together for the scan session; ``repro.pipeline.diskcache``
@@ -46,6 +47,7 @@ from .fingerprints import (
 )
 from .local import LocalDirBackend
 from .memory import MemoryBackend, shared_memory_backend
+from .remote import RemoteBackend
 from .store import CacheStore, backend_from_spec
 from .tiered import TieredBackend
 
@@ -62,6 +64,7 @@ __all__ = [
     "GetResult",
     "LocalDirBackend",
     "MemoryBackend",
+    "RemoteBackend",
     "TieredBackend",
     "app_content_fingerprint",
     "backend_from_spec",

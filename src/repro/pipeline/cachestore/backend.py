@@ -4,12 +4,13 @@ implements.
 A backend is a content-addressed blob store.  It never interprets entry
 payloads — serialization lives in :mod:`.codec`, addressing in
 :mod:`.fingerprints` — it only moves opaque ``bytes`` under an
-:class:`EntryKey`.  Three implementations ship today
+:class:`EntryKey`.  Four implementations ship today
 (:class:`~repro.pipeline.cachestore.local.LocalDirBackend`,
 :class:`~repro.pipeline.cachestore.memory.MemoryBackend`,
-:class:`~repro.pipeline.cachestore.tiered.TieredBackend`); an
-HTTP/S3-style remote tier plugs in behind the same five methods without
-touching the pipeline.
+:class:`~repro.pipeline.cachestore.remote.RemoteBackend` — the
+HTTP tier served by the ``nchecker serve`` daemon — and
+:class:`~repro.pipeline.cachestore.tiered.TieredBackend`); each plugs
+in behind the same five methods without touching the pipeline.
 
 Semantics every backend MUST honour (enforced by the shared conformance
 suite in ``tests/pipeline/test_cachestore.py``):

@@ -1,0 +1,176 @@
+"""The remote backend — a cache tier served over HTTP.
+
+:class:`RemoteBackend` is the client half of the fleet-wide cache: it
+speaks the tiny blob API the ``nchecker serve`` daemon exposes under
+``/v1/cache`` (see ``docs/SERVICE.md``), so every host pointed at one
+daemon shares a single artifact store.  Selected with the
+``remote:URL`` spec tier, usually behind faster tiers::
+
+    --cache-backend memory+remote:http://cache.internal:8321
+
+Semantics match every other tier (the conformance battery in
+``tests/pipeline/test_cachestore.py`` runs against a live daemon):
+
+* **Never raise.**  Network trouble — connection refused, timeouts, a
+  5xx from the server, a half-closed socket — degrades to a miss, a
+  skipped write, or an empty listing.  A scan must finish with the
+  cache server down exactly as it would with no cache at all.
+* **Corruption is a miss.**  Blob bytes travel verbatim; the codec's
+  header checksum decides validity on the client, and a reported
+  corruption ``delete`` drops the server-side copy.
+* **Atomicity and gc grace** are the serving backend's problem: the
+  daemon stores blobs in a :class:`~repro.pipeline.cachestore.local.
+  LocalDirBackend`, which already provides both.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Optional
+
+from ...obs import get_logger
+from .backend import (
+    GC_GRACE_SECONDS,
+    CacheStats,
+    EntryInfo,
+    EntryKey,
+    GetResult,
+    stats_from_entries,
+)
+
+log = get_logger("cachestore.remote")
+
+#: Per-request network timeout.  Short on purpose: a slow cache server
+#: must degrade to a miss quickly, not stall the scan behind it.
+DEFAULT_TIMEOUT = 5.0
+
+
+class RemoteBackend:
+    """Content-addressed blob store over the daemon's ``/v1/cache`` API."""
+
+    def __init__(
+        self,
+        url: str,
+        name: str = "remote",
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        base = url.rstrip("/")
+        if not base.endswith("/v1/cache"):
+            base += "/v1/cache"
+        self.base_url = base
+        self.name = name
+        self.timeout = timeout
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RemoteBackend({self.base_url!r})"
+
+    # -- transport -----------------------------------------------------------
+
+    def _request(
+        self,
+        url: str,
+        method: str = "GET",
+        data: Optional[bytes] = None,
+        content_type: str = "application/octet-stream",
+    ) -> Optional[tuple[int, bytes]]:
+        """One HTTP exchange, or ``None`` when the server is unreachable.
+
+        HTTP error statuses come back as ``(status, body)`` like any
+        other response — a 404 is a miss, not an exception — so only
+        transport-level failures hit the ``None`` path."""
+        request = urllib.request.Request(url, data=data, method=method)
+        if data is not None:
+            request.add_header("Content-Type", content_type)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            body = exc.read() if exc.fp is not None else b""
+            exc.close()
+            return exc.code, body
+        except Exception as exc:
+            log.debug("remote cache %s %s failed: %s", method, url, exc)
+            return None
+
+    def _json(
+        self, url: str, method: str = "GET", payload: Optional[dict] = None
+    ) -> Optional[dict]:
+        data = None
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+        reply = self._request(url, method, data, content_type="application/json")
+        if reply is None or reply[0] != 200:
+            return None
+        try:
+            decoded = json.loads(reply[1])
+        except ValueError as exc:
+            log.debug("remote cache sent unparsable JSON from %s: %s", url, exc)
+            return None
+        return decoded if isinstance(decoded, dict) else None
+
+    def entry_url(self, key: EntryKey) -> str:
+        return f"{self.base_url}/{key.app_fp}/{key.kind}/{key.digest}"
+
+    # -- blob store ----------------------------------------------------------
+
+    def get(self, key: EntryKey) -> Optional[GetResult]:
+        reply = self._request(self.entry_url(key))
+        if reply is None or reply[0] != 200:
+            return None
+        return GetResult(reply[1], self.name)
+
+    def put(self, key: EntryKey, blob: bytes) -> tuple[str, ...]:
+        reply = self._request(self.entry_url(key), "PUT", blob)
+        if reply is None or reply[0] not in (200, 201):
+            return ()
+        return (self.name,)
+
+    def delete(self, key: EntryKey) -> int:
+        reply = self._request(self.entry_url(key), "DELETE")
+        if reply is None or reply[0] != 200:
+            return 0
+        try:
+            return int(json.loads(reply[1]).get("removed", 0))
+        except (ValueError, AttributeError):
+            return 0
+
+    # -- enumeration / management --------------------------------------------
+
+    def list_entries(self) -> list[EntryInfo]:
+        reply = self._json(f"{self.base_url}/entries")
+        if reply is None:
+            return []
+        entries = []
+        for row in reply.get("entries", ()):
+            try:
+                entries.append(EntryInfo(
+                    EntryKey(row["app_fp"], row["kind"], row["digest"]),
+                    int(row["size"]), float(row["mtime"]), self.name,
+                ))
+            except (KeyError, TypeError, ValueError):
+                continue
+        return entries
+
+    def stats(self) -> CacheStats:
+        return stats_from_entries(
+            f"{self.name} {self.base_url}", self.list_entries()
+        )
+
+    def gc(
+        self, max_bytes: int, grace_seconds: float = GC_GRACE_SECONDS
+    ) -> tuple[int, int]:
+        reply = self._json(
+            f"{self.base_url}/gc", "POST",
+            {"max_bytes": max_bytes, "grace_seconds": grace_seconds},
+        )
+        if reply is None:
+            return 0, 0
+        return int(reply.get("removed", 0)), int(reply.get("freed", 0))
+
+    def clear(self) -> int:
+        reply = self._json(f"{self.base_url}/clear", "POST", {})
+        if reply is None:
+            return 0
+        return int(reply.get("removed", 0))

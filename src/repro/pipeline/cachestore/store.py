@@ -24,13 +24,16 @@ Backend specs
 composition with a tiny grammar::
 
     SPEC := TIER ('+' TIER)*        # fastest tier first
-    TIER := 'memory' | 'local' [':' DIR]
+    TIER := 'memory' | 'local' [':' DIR] | 'remote' ':' URL
 
 ``local`` without a directory uses the resolved cache root
-(``options.cache_dir``).  Two or more tiers compose into a
+(``options.cache_dir``); ``remote`` needs an ``http://`` or
+``https://`` URL naming a ``nchecker serve`` daemon (its ``/v1/cache``
+blueprint — ``docs/SERVICE.md``).  Two or more tiers compose into a
 :class:`~repro.pipeline.cachestore.tiered.TieredBackend` with
 read-through promotion and write-through.  Examples: ``local``,
-``memory``, ``memory+local``, ``memory+local:/tmp/cache``.
+``memory``, ``memory+local``, ``memory+local:/tmp/cache``,
+``memory+remote:http://cache.internal:8321``.
 """
 
 from __future__ import annotations
@@ -48,6 +51,7 @@ from .codec import CacheMiss, decode_artifact, encode_artifact
 from .fingerprints import entry_digest
 from .local import LocalDirBackend
 from .memory import shared_memory_backend
+from .remote import RemoteBackend
 from .tiered import TieredBackend
 
 if TYPE_CHECKING:
@@ -78,10 +82,17 @@ def backend_from_spec(
                     "or set a cache root (--cache-dir / cache_dir)"
                 )
             tiers.append(LocalDirBackend(root))
+        elif name == "remote":
+            if not arg.startswith(("http://", "https://")):
+                raise ValueError(
+                    f"remote cache tier needs a server URL: use "
+                    f"remote:http://HOST:PORT (got {part.strip()!r})"
+                )
+            tiers.append(RemoteBackend(arg))
         else:
             raise ValueError(
                 f"unknown cache backend tier {name!r} "
-                f"(expected 'memory' or 'local[:DIR]')"
+                f"(expected 'memory', 'local[:DIR]', or 'remote:URL')"
             )
     if len(tiers) == 1:
         return tiers[0]

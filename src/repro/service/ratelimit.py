@@ -1,0 +1,95 @@
+"""Per-tenant token-bucket rate limiting for ``POST /v1/scans``.
+
+The classic shape: a bucket holds up to ``burst`` tokens, refills at
+``rate`` tokens per second, and a submission spends one.  Bursts up to
+the bucket size pass immediately; sustained traffic is capped at the
+refill rate; an empty bucket means 429 with a ``Retry-After`` hint.
+
+Tenancy is by the ``X-NChecker-Tenant`` request header (clients that
+send none share the ``"default"`` bucket), so one noisy client cannot
+starve the fleet.  The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+
+class TokenBucket:
+    """One tenant's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self.tokens = float(burst)
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        self.tokens = min(
+            float(self.burst), self.tokens + (now - self._stamp) * self.rate
+        )
+        self._stamp = now
+
+    def allow(self) -> bool:
+        """Spend one token if available."""
+        self._refill()
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one token will be available (0 when one is)."""
+        self._refill()
+        if self.tokens >= 1.0:
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Token buckets keyed by tenant; ``rate <= 0`` disables limiting."""
+
+    def __init__(
+        self,
+        rate: float,
+        burst: int = 8,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate = rate
+        self.burst = burst
+        self.clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        found = self._buckets.get(tenant)
+        if found is None:
+            found = self._buckets[tenant] = TokenBucket(
+                self.rate, self.burst, self.clock
+            )
+        return found
+
+    def allow(self, tenant: str) -> bool:
+        if not self.enabled:
+            return True
+        return self.bucket(tenant).allow()
+
+    def retry_after(self, tenant: str) -> float:
+        if not self.enabled:
+            return 0.0
+        return self.bucket(tenant).retry_after()

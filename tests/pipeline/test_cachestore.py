@@ -1,8 +1,9 @@
 """Conformance suite for the cache-store backends.
 
 One shared battery of tests runs against every :class:`CacheBackend`
-implementation — ``local``, ``memory``, and a ``memory+local`` tier
-chain — so the protocol semantics documented in
+implementation — ``local``, ``memory``, a ``memory+local`` tier chain,
+and ``remote`` (a live ``nchecker serve`` daemon per test, spoken to
+over a real socket) — so the protocol semantics documented in
 :mod:`repro.pipeline.cachestore.backend` (best-effort never raising,
 atomic publication, corruption-is-a-miss, gc grace) are enforced, not
 aspirational.  On top of the protocol battery:
@@ -36,6 +37,7 @@ from repro.pipeline.cachestore import (
     EntryKey,
     LocalDirBackend,
     MemoryBackend,
+    RemoteBackend,
     TieredBackend,
     app_content_fingerprint,
     backend_from_spec,
@@ -43,27 +45,40 @@ from repro.pipeline.cachestore import (
     shared_memory_backend,
 )
 from repro.pipeline.diskcache import DiskCache
+from repro.service import ServiceConfig, start_in_thread
 from tests.conftest import single_request_app
 
 APP_KINDS = ("callgraph", "summaries", "requests", "retry-loops", "icc-model")
 PERSISTED_KINDS = ("callgraph", "summaries", "requests", "retry-loops")
-BACKEND_PARAMS = ("local", "memory", "tiered")
+BACKEND_PARAMS = ("local", "memory", "tiered", "remote")
 #: The tier a warm hit is attributed to, per parametrized backend (the
 #: tiered composition serves from its fastest tier after write-through).
-SERVING_TIER = {"local": "local", "memory": "memory", "tiered": "memory"}
+SERVING_TIER = {
+    "local": "local", "memory": "memory", "tiered": "memory",
+    "remote": "remote",
+}
 
 
-def make_backend(kind: str, tmp_path) -> CacheBackend:
+def make_backend(kind: str, tmp_path, request=None) -> CacheBackend:
     if kind == "local":
         return LocalDirBackend(tmp_path / "cache")
     if kind == "memory":
         return MemoryBackend()
+    if kind == "remote":
+        # A real daemon per test: the conformance battery talks to its
+        # /v1/cache blueprint over an actual socket.
+        handle = start_in_thread(
+            ServiceConfig(port=0, cache_dir=str(tmp_path / "served"))
+        )
+        assert request is not None, "remote backend needs fixture teardown"
+        request.addfinalizer(handle.stop)
+        return RemoteBackend(handle.base_url)
     return TieredBackend([MemoryBackend(), LocalDirBackend(tmp_path / "cache")])
 
 
 @pytest.fixture(params=BACKEND_PARAMS)
 def backend(request, tmp_path) -> CacheBackend:
-    return make_backend(request.param, tmp_path)
+    return make_backend(request.param, tmp_path, request)
 
 
 def key(kind="summaries", app_fp="a" * 40, digest="0123456789abcdef") -> EntryKey:
@@ -304,7 +319,8 @@ class TestTieredSemantics:
 class TestWarmScanEveryBackend:
     @pytest.fixture(params=BACKEND_PARAMS)
     def setup(self, request, tmp_path):
-        return make_backend(request.param, tmp_path), SERVING_TIER[request.param]
+        backend = make_backend(request.param, tmp_path, request)
+        return backend, SERVING_TIER[request.param]
 
     def test_warm_rescan_is_build_free(self, setup):
         backend, serving = setup
@@ -344,7 +360,8 @@ class TestWarmScanEveryBackend:
 class TestCorruptionEveryBackend:
     @pytest.fixture(params=BACKEND_PARAMS)
     def setup(self, request, tmp_path):
-        return make_backend(request.param, tmp_path), SERVING_TIER[request.param]
+        backend = make_backend(request.param, tmp_path, request)
+        return backend, SERVING_TIER[request.param]
 
     def summaries_key(self, backend) -> EntryKey:
         [k] = {i.key for i in backend.list_entries() if i.key.kind == "summaries"}
@@ -527,6 +544,31 @@ class TestBackendSpecs:
         backend = backend_from_spec(f" memory + local:{tmp_path} ")
         assert backend.name == "memory+local"
 
+    def test_remote_with_url(self):
+        backend = backend_from_spec("remote:http://cache.internal:8321")
+        assert isinstance(backend, RemoteBackend)
+        assert backend.base_url == "http://cache.internal:8321/v1/cache"
+
+    def test_remote_url_keeps_an_explicit_api_path(self):
+        backend = backend_from_spec("remote:https://host/v1/cache")
+        assert backend.base_url == "https://host/v1/cache"
+
+    def test_remote_chain_with_memory(self, tmp_path):
+        backend = backend_from_spec(
+            f"memory+local:{tmp_path}+remote:http://host:1"
+        )
+        assert isinstance(backend, TieredBackend)
+        assert backend.name == "memory+local+remote"
+        assert isinstance(backend.tiers[2], RemoteBackend)
+
+    def test_remote_without_url_rejected(self):
+        with pytest.raises(ValueError, match="needs a server URL"):
+            backend_from_spec("remote")
+
+    def test_remote_with_non_http_url_rejected(self):
+        with pytest.raises(ValueError, match="needs a server URL"):
+            backend_from_spec("remote:ftp://host/cache")
+
     def test_unknown_tier_rejected(self):
         with pytest.raises(ValueError, match="unknown cache backend tier"):
             backend_from_spec("redis")
@@ -542,6 +584,50 @@ class TestBackendSpecs:
     def test_duplicate_tiers_rejected(self):
         with pytest.raises(ValueError, match="distinct"):
             backend_from_spec("memory+memory")
+
+
+class TestRemoteBackendDegradation:
+    """A dead or lying cache server must degrade to a miss, never an
+    exception — a scan with the fleet cache down finishes exactly like
+    an uncached one."""
+
+    @pytest.fixture()
+    def dead(self, tmp_path):
+        # Bind a port, then close it: connections are refused after.
+        handle = start_in_thread(ServiceConfig(port=0, cache_dir=str(tmp_path)))
+        url = handle.base_url
+        handle.stop()
+        return RemoteBackend(url, timeout=1.0)
+
+    def test_every_operation_degrades_quietly(self, dead):
+        assert dead.get(key()) is None
+        assert dead.put(key(), b"payload") == ()
+        assert dead.delete(key()) == 0
+        assert dead.list_entries() == []
+        assert dead.stats().entries == 0
+        assert dead.gc(0, grace_seconds=0) == (0, 0)
+        assert dead.clear() == 0
+
+    def test_scan_through_a_dead_server_matches_uncached(self, dead):
+        apk = fresh_apk()
+        baseline, _ = scan_with(None, loads_apk(dumps_apk(apk)))
+        result, session = scan_with(dead, apk)
+        assert finding_sigs(result) == finding_sigs(baseline)
+        # Every artifact was built locally; nothing was served.
+        assert session.store.counters.builds_of("callgraph") == 1
+        assert counter(session, "cache.remote.callgraph.hits") == 0
+
+    def test_non_blob_response_is_a_miss(self, tmp_path):
+        # A daemon with no cache root answers /v1/cache with 503: the
+        # client treats any non-200 as absent.
+        handle = start_in_thread(ServiceConfig(port=0))
+        try:
+            backend = RemoteBackend(handle.base_url)
+            assert backend.get(key()) is None
+            assert backend.put(key(), b"x") == ()
+            assert backend.list_entries() == []
+        finally:
+            handle.stop()
 
 
 class TestFromOptions:

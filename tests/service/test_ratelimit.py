@@ -1,0 +1,71 @@
+"""Token-bucket unit tests with an injected clock — fully deterministic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.ratelimit import RateLimiter, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_drains_then_denies(self):
+        bucket = TokenBucket(rate=1.0, burst=3, clock=FakeClock())
+        assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+
+    def test_refill_restores_tokens(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=2, clock=clock)
+        assert bucket.allow() and bucket.allow()
+        assert not bucket.allow()
+        clock.advance(0.5)  # 2/s for half a second -> one token back
+        assert bucket.allow()
+        assert not bucket.allow()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(3600)
+        assert [bucket.allow() for _ in range(3)] == [True, True, False]
+
+    def test_retry_after_names_the_refill_time(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, burst=1, clock=clock)
+        assert bucket.retry_after() == 0.0
+        bucket.allow()
+        assert bucket.retry_after() == pytest.approx(2.0)
+        clock.advance(1.0)
+        assert bucket.retry_after() == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("rate,burst", [(0, 1), (-1.0, 1), (1.0, 0)])
+    def test_rejects_degenerate_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestRateLimiter:
+    def test_rate_zero_disables_limiting(self):
+        limiter = RateLimiter(rate=0.0, burst=1)
+        assert not limiter.enabled
+        assert all(limiter.allow("t") for _ in range(100))
+        assert limiter.retry_after("t") == 0.0
+
+    def test_tenants_have_independent_buckets(self):
+        limiter = RateLimiter(rate=0.001, burst=1, clock=FakeClock())
+        assert limiter.allow("alice")
+        assert not limiter.allow("alice")
+        assert limiter.allow("bob")  # alice's drain does not starve bob
+
+    def test_bucket_is_stable_per_tenant(self):
+        limiter = RateLimiter(rate=1.0, burst=4, clock=FakeClock())
+        assert limiter.bucket("t") is limiter.bucket("t")
